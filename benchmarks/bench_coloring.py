@@ -1,0 +1,69 @@
+"""E11 — Theorem 3.2 machinery: exact Koenig d-coloring vs greedy <= 2d-1.
+
+Verifies the decomposition into perfect matchings (each color class of a
+d-regular graph) and compares color counts and wall time of the exact and
+greedy algorithms across a degree sweep.
+"""
+
+import random
+
+from repro.analysis import render_table
+from repro.graphtools import (
+    BipartiteMultigraph,
+    color_classes,
+    greedy_edge_coloring,
+    koenig_edge_coloring,
+    num_colors,
+    verify_exact_coloring,
+    verify_matching,
+    verify_proper_coloring,
+)
+
+
+def _regular(n, d, seed):
+    rng = random.Random(seed)
+    g = BipartiteMultigraph(n, n)
+    for _ in range(d):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        for u, v in enumerate(perm):
+            g.add_edge(u, v)
+    return g
+
+
+def _measure():
+    rows = []
+    for n, d in [(16, 4), (16, 16), (32, 8), (32, 31), (64, 16)]:
+        g = _regular(n, d, seed=d)
+        exact = koenig_edge_coloring(g)
+        verify_exact_coloring(g, exact, d)
+        for cls in color_classes(exact):
+            verify_matching(g, cls)
+            assert len(cls) == n  # perfect matchings
+        greedy = greedy_edge_coloring(g)
+        verify_proper_coloring(g, greedy)
+        gcols = num_colors(greedy)
+        assert gcols <= 2 * d - 1
+        rows.append([n, d, g.num_edges, num_colors(exact), gcols, 2 * d - 1])
+    return rows
+
+
+def test_bench_coloring(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E11  Koenig exact coloring vs greedy (footnote 3)",
+            ["n", "degree d", "edges", "Koenig colors", "greedy", "2d-1"],
+            rows,
+        )
+    )
+
+
+def test_bench_koenig_speed(benchmark):
+    g = _regular(64, 16, seed=1)
+    benchmark(lambda: koenig_edge_coloring(g))
+
+
+def test_bench_greedy_speed(benchmark):
+    g = _regular(64, 16, seed=1)
+    benchmark(lambda: greedy_edge_coloring(g))

@@ -1,0 +1,56 @@
+"""E6 — Corollary 4.6 + derived problems: constant-round indexing,
+selection, median, and mode."""
+
+from collections import Counter
+
+from repro.analysis import render_table
+from repro.sorting import (
+    ROUNDS_INDEXING,
+    ROUNDS_MODE,
+    ROUNDS_SELECTION,
+    duplicate_heavy_instance,
+    index_keys,
+    median,
+    mode,
+    select_kth,
+    uniform_sort_instance,
+    verify_indices,
+)
+
+
+def _measure():
+    rows = []
+    for n in (16, 25):
+        dup = duplicate_heavy_instance(n, distinct=5, seed=n)
+        uni = uniform_sort_instance(n, seed=n)
+
+        r_idx = index_keys(dup)
+        verify_indices(dup, r_idx.outputs)
+        rows.append(["indexing (Cor 4.6)", n, r_idx.rounds, ROUNDS_INDEXING])
+
+        ordered = sorted(k for ks in uni.keys_by_node for k in ks)
+        r_sel = select_kth(uni, len(ordered) // 3)
+        assert all(o == ordered[len(ordered) // 3] for o in r_sel.outputs)
+        rows.append(["selection", n, r_sel.rounds, ROUNDS_SELECTION])
+
+        r_med = median(uni)
+        assert all(o == ordered[len(ordered) // 2] for o in r_med.outputs)
+        rows.append(["median", n, r_med.rounds, ROUNDS_SELECTION])
+
+        counts = Counter(k for ks in dup.keys_by_node for k in ks)
+        best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+        r_mode = mode(dup)
+        assert all(o == best for o in r_mode.outputs)
+        rows.append(["mode", n, r_mode.rounds, ROUNDS_MODE])
+    return rows
+
+
+def test_bench_indexing_selection(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E6  Constant-round derived problems (Cor. 4.6 and remarks)",
+            ["problem", "n", "rounds", "bound"],
+            rows,
+        )
+    )

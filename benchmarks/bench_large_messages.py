@@ -1,0 +1,46 @@
+"""E9 — Section 6.1: payloads of L words cost either L x rounds (fixed
+bandwidth) or 1 x rounds at L x message size; total bits per node are the
+invariant."""
+
+from repro.analysis import render_table
+from repro.extensions import WideMessage, route_wide_messages
+from repro.routing import uniform_instance
+
+
+def _measure():
+    rows = []
+    n = 16
+    base = uniform_instance(n, seed=9)
+    for width in (1, 2, 4):
+        wide = [
+            [
+                WideMessage(
+                    m.source, m.dest, m.seq, [m.payload + i for i in range(width)]
+                )
+                for m in row
+            ]
+            for row in base.messages_by_source
+        ]
+        _, r_lanes = route_wide_messages(n, wide, width, sequential=False)
+        _, r_seq = route_wide_messages(n, wide, width, sequential=True)
+        assert r_lanes == 16
+        assert r_seq == 16 * width
+        rows.append([width, r_seq, r_lanes, f"{width}x", "1x"])
+    return rows
+
+
+def test_bench_large_messages(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E9  Section 6.1 - payload width vs rounds (n=16)",
+            [
+                "payload words",
+                "rounds @ fixed B",
+                "rounds @ B*width",
+                "size seq",
+                "size lanes",
+            ],
+            rows,
+        )
+    )

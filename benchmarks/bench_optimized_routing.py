@@ -1,0 +1,72 @@
+"""E2 — Theorem 5.4: 12-round routing with O(n log n) local computation.
+
+Two tables: the round counts (12 on every workload), and the local-work
+scaling — ``max node steps / (n log2 n)`` must stay flat as n grows, and
+peak live words per node must stay O(n).
+"""
+
+from repro.analysis import ROUTING_OPTIMIZED_ROUNDS, render_table
+from repro.routing import (
+    block_skew_instance,
+    permutation_instance,
+    route_optimized,
+    uniform_instance,
+    verify_delivery,
+)
+
+
+def _measure_rounds():
+    rows = []
+    for name, maker in [
+        ("uniform", lambda n: uniform_instance(n, seed=n)),
+        ("hotspot-perm", permutation_instance),
+        ("block-skew", lambda n: block_skew_instance(n, seed=1)),
+    ]:
+        for n in (16, 25, 36, 49):
+            inst = maker(n)
+            res = route_optimized(inst)
+            verify_delivery(inst, res.outputs)
+            assert res.rounds == ROUTING_OPTIMIZED_ROUNDS
+            rows.append([name, n, res.rounds, ROUTING_OPTIMIZED_ROUNDS])
+    return rows
+
+
+def _measure_work():
+    rows = []
+    for n in (16, 36, 64, 100):
+        inst = uniform_instance(n, seed=2)
+        res = route_optimized(inst, meter=True)
+        verify_delivery(inst, res.outputs)
+        rows.append(
+            [
+                n,
+                res.meters.max_steps,
+                f"{res.meters.normalized_steps(n):.2f}",
+                res.meters.max_peak_words,
+                f"{res.meters.normalized_words(n):.2f}",
+            ]
+        )
+    return rows
+
+
+def test_bench_optimized_rounds(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure_rounds, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E2a  Theorem 5.4 - optimized routing rounds",
+            ["workload", "n", "rounds", "paper bound"],
+            rows,
+        )
+    )
+
+
+def test_bench_optimized_local_work(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure_work, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E2b  Theorem 5.4 - local computation scaling "
+            "(steps/(n log n) and words/n must stay flat)",
+            ["n", "max steps", "steps/(n log n)", "peak words", "words/n"],
+            rows,
+        )
+    )

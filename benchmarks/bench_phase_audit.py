@@ -1,0 +1,93 @@
+"""E12 — per-phase round audit: the implementation's round budget matches
+the paper's step-by-step accounting.
+
+Routing: Lemma 3.6 gives 2+0+2+0+2+1 = 7 for Algorithm 2, Corollary 3.5
+gives 4, Step 4 is 1, Corollary 3.4 gives 4 — total 16.
+Sorting: Theorem 4.5 gives 0+1+8+2+0+16+8+2 = 37.
+"""
+
+from repro.analysis import ROUTING_PHASES, render_table
+from repro.routing import route_lenzen_square, uniform_instance
+from repro.sorting import sort_lenzen, uniform_sort_instance
+
+#: Expected rounds of Algorithm 4's phases as instrumented (the embedded
+#: 16-round router reports its own sub-phases, summed under "step6").
+SORT_PHASE_GROUPS = {
+    "alg4.sample": 1,      # Step 2 (Step 1 is local)
+    "alg3.": 16,           # Steps 3 and 7: two 8-round subset sorts
+    "alg4.delimiters": 2,  # Step 4
+    "alg4.route": 0,       # label only; router sub-phases carry the rounds
+    "router": 16,          # Step 6
+    "alg4.redist": 2,      # Step 8
+}
+
+
+def _measure_routing():
+    res = route_lenzen_square(uniform_instance(25, seed=3))
+    table = res.phase_table()
+    rows = []
+    for phase, expected in ROUTING_PHASES.items():
+        measured = table.get(phase, 0)
+        assert measured == expected, (phase, measured, expected)
+        rows.append([phase, measured, expected])
+    rows.append(["TOTAL", res.rounds, 16])
+    return rows
+
+
+def _measure_sorting():
+    res = sort_lenzen(uniform_sort_instance(16, seed=3))
+    table = res.phase_table()
+    agg = {
+        "step2 (scatter)": table.get("alg4.sample", 0),
+        "steps 3+7 (subset sorts)": sum(
+            v
+            for k, v in table.items()
+            if k.startswith("alg3.")
+            or k in ("alg4.sort_samples", "alg4.sort_buckets")
+        ),
+        "step4 (delimiters)": table.get("alg4.delimiters", 0),
+        "step6 (Thm 3.7 router)": sum(
+            v
+            for k, v in table.items()
+            if k.startswith("alg2.")
+            or k.startswith("alg1.")
+            or k in ("alg4.split", "alg4.route")
+        ),
+        "step8 (rebalance)": table.get("alg4.redist", 0),
+    }
+    expected = {
+        "step2 (scatter)": 1,
+        "steps 3+7 (subset sorts)": 16,
+        "step4 (delimiters)": 2,
+        "step6 (Thm 3.7 router)": 16,
+        "step8 (rebalance)": 2,
+    }
+    rows = []
+    for phase, exp in expected.items():
+        assert agg[phase] == exp, (phase, agg[phase], exp)
+        rows.append([phase, agg[phase], exp])
+    rows.append(["TOTAL", res.rounds, 37])
+    assert res.rounds == 37
+    return rows
+
+
+def test_bench_phase_audit_routing(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure_routing, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E12a  Routing round budget vs paper decomposition (n=25)",
+            ["phase", "measured", "paper"],
+            rows,
+        )
+    )
+
+
+def test_bench_phase_audit_sorting(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure_sorting, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E12b  Sorting round budget vs paper decomposition (n=16)",
+            ["phase", "measured", "paper"],
+            rows,
+        )
+    )

@@ -1,0 +1,73 @@
+"""E5 — Corollaries 3.3 (2 rounds) and 3.4 (4 rounds), concurrent groups."""
+
+from repro.analysis import (
+    KNOWN_PATTERN_ROUNDS,
+    UNKNOWN_PATTERN_ROUNDS,
+    render_table,
+)
+from repro.core import run_protocol
+from repro.routing.primitives import route_known, route_unknown
+
+
+def _run(n, w, mode):
+    num_groups = n // w
+    groups = tuple(
+        tuple(range(g * w, (g + 1) * w)) for g in range(num_groups)
+    )
+
+    def prog(ctx):
+        g, r = divmod(ctx.node_id, w)
+        items = [(b, (ctx.node_id, b)) for b in range(w)]
+        if mode == "known":
+            demand = tuple(tuple(1 for _ in range(w)) for _ in range(w))
+            got = yield from route_known(
+                ctx, groups, g, r, items, demand, "e5", item_width=2
+            )
+        else:
+            got = yield from route_unknown(
+                ctx, groups, g, r, items, "e5", item_width=2
+            )
+        assert len(got) == w
+        return None
+
+    return run_protocol(n, prog).rounds
+
+
+def _measure():
+    rows = []
+    for n, w in [(16, 4), (36, 6), (64, 8), (100, 10)]:
+        known = _run(n, w, "known")
+        unknown = _run(n, w, "unknown")
+        assert known == KNOWN_PATTERN_ROUNDS
+        assert unknown == UNKNOWN_PATTERN_ROUNDS
+        rows.append(
+            [
+                n,
+                w,
+                n // w,
+                known,
+                KNOWN_PATTERN_ROUNDS,
+                unknown,
+                UNKNOWN_PATTERN_ROUNDS,
+            ]
+        )
+    return rows
+
+
+def test_bench_primitives(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E5  Cor. 3.3 / 3.4 round counts (all groups concurrent)",
+            [
+                "n",
+                "|W|",
+                "groups",
+                "Cor3.3",
+                "bound",
+                "Cor3.4",
+                "bound",
+            ],
+            rows,
+        )
+    )

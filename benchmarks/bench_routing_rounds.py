@@ -1,0 +1,56 @@
+"""E1 — Theorem 3.7: deterministic routing in at most 16 rounds, any n.
+
+Regenerates the round-count table over four workloads and a size sweep that
+includes non-square n.  The paper's claim is a worst-case constant; the
+table shows the measured constant per instance family.
+"""
+
+import pytest
+
+from repro.analysis import ROUTING_ROUNDS, render_table
+from repro.routing import (
+    block_skew_instance,
+    permutation_instance,
+    route_lenzen,
+    transpose_instance,
+    uniform_instance,
+    verify_delivery,
+)
+
+WORKLOADS = {
+    "uniform": lambda n: uniform_instance(n, seed=n),
+    "hotspot-perm": lambda n: permutation_instance(n),
+    "transpose": transpose_instance,
+    "block-skew": lambda n: block_skew_instance(n, seed=n),
+}
+
+SIZES = [16, 20, 25, 27, 36, 49, 64, 100]
+
+
+def _measure():
+    rows = []
+    for name, maker in WORKLOADS.items():
+        for n in SIZES:
+            inst = maker(n)
+            res = route_lenzen(inst)
+            verify_delivery(inst, res.outputs)
+            assert res.rounds <= ROUTING_ROUNDS
+            rows.append([name, n, res.rounds, ROUTING_ROUNDS])
+    return rows
+
+
+def test_bench_routing_rounds(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E1  Theorem 3.7 - deterministic routing rounds",
+            ["workload", "n", "rounds", "paper bound"],
+            rows,
+        )
+    )
+
+
+@pytest.mark.parametrize("n", [16, 25])
+def test_bench_single_route(benchmark, n):
+    inst = uniform_instance(n, seed=1)
+    benchmark(lambda: route_lenzen(inst))

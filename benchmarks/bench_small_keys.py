@@ -1,0 +1,56 @@
+"""E10 — Section 6.3: keys of o(log n) bits ordered in 2 rounds with 1-2 bit
+messages, versus 37 rounds for general sorting."""
+
+import random
+
+from repro.analysis import SMALL_KEY_ROUNDS, render_table
+from repro.extensions import sort_small_keys
+
+
+def _measure():
+    rows = []
+    for n, num_keys, max_count in [
+        (64, 2, 3),
+        (100, 4, 7),
+        (144, 4, 15),
+        (196, 6, 15),
+    ]:
+        rng = random.Random(n)
+        counts = [
+            [rng.randint(0, max_count) for _ in range(num_keys)]
+            for _ in range(n)
+        ]
+        res = sort_small_keys(n, counts, num_keys, max_count)
+        assert res.rounds == SMALL_KEY_ROUNDS
+        total = sum(sum(row) for row in counts)
+        rows.append(
+            [
+                n,
+                num_keys,
+                max_count,
+                total,
+                res.rounds,
+                SMALL_KEY_ROUNDS,
+                37,
+            ]
+        )
+    return rows
+
+
+def test_bench_small_keys(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E10  Section 6.3 - tiny-key ordering with 1-2 bit messages",
+            [
+                "n",
+                "distinct keys",
+                "max copies/node",
+                "keys ordered",
+                "rounds",
+                "bound",
+                "general sort",
+            ],
+            rows,
+        )
+    )

@@ -1,0 +1,48 @@
+"""E3 — Theorem 4.5: deterministic sorting of n^2 keys in 37 rounds."""
+
+from repro.analysis import SORTING_ROUNDS, render_table
+from repro.sorting import (
+    duplicate_heavy_instance,
+    presorted_instance,
+    reversed_instance,
+    sort_lenzen,
+    uniform_sort_instance,
+    verify_sorted_batches,
+)
+
+WORKLOADS = {
+    "uniform": lambda n: uniform_sort_instance(n, seed=n),
+    "dup-heavy": lambda n: duplicate_heavy_instance(n, distinct=4, seed=n),
+    "presorted": presorted_instance,
+    "reversed": reversed_instance,
+}
+
+
+def _measure():
+    rows = []
+    for name, maker in WORKLOADS.items():
+        for n in (16, 25, 36, 49):
+            inst = maker(n)
+            res = sort_lenzen(inst)
+            verify_sorted_batches(inst, res.outputs)
+            assert res.rounds == SORTING_ROUNDS
+            rows.append(
+                [name, n, n * n, res.rounds, SORTING_ROUNDS]
+            )
+    return rows
+
+
+def test_bench_sorting_rounds(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E3  Theorem 4.5 - deterministic sorting rounds",
+            ["workload", "n", "keys", "rounds", "paper bound"],
+            rows,
+        )
+    )
+
+
+def test_bench_single_sort(benchmark):
+    inst = uniform_sort_instance(16, seed=3)
+    benchmark(lambda: sort_lenzen(inst))

@@ -1,0 +1,78 @@
+"""E4 — Lemma 4.4 (10-round subset sort) and Lemma 4.3 (bucket balance).
+
+For each group size the table reports the measured rounds and the largest
+bucket against the generalized Lemma 4.3 bound ``k_max + s*w + w``
+(the paper's ``< 4n`` at ``(w, k_max) = (sqrt(n), 2n)``).
+"""
+
+import random
+
+from repro.analysis import (
+    SUBSET_SORT_ROUNDS,
+    render_table,
+    subset_sort_bucket_bound,
+)
+from repro.core import run_protocol
+from repro.sorting import subset_sort
+
+
+def _run_one(n, w, keys_per, seed):
+    groups = (tuple(range(w)),)
+    rng = random.Random(seed)
+    pool = rng.sample(range(10 ** 6), w * keys_per)
+    lists = [
+        sorted(pool[i * keys_per : (i + 1) * keys_per]) for i in range(w)
+    ]
+
+    def prog(ctx):
+        if ctx.node_id < w:
+            res = yield from subset_sort(
+                ctx, groups, 0, ctx.node_id, lists[ctx.node_id],
+                keys_per, "b", redistribute=True,
+            )
+        else:
+            res = yield from subset_sort(
+                ctx, groups, None, None, [], keys_per, "b",
+            )
+        return res
+
+    res = run_protocol(n, prog, capacity=16)
+    merged = []
+    for i in range(w):
+        merged.extend(res.outputs[i].run)
+    assert merged == sorted(pool)
+    return res.rounds, max(res.outputs[0].bucket_sizes)
+
+
+def _measure():
+    rows = []
+    for w in (4, 6, 8, 10, 12):
+        n = w * w
+        keys_per = 2 * n
+        rounds, max_bucket = _run_one(n, w, keys_per, seed=w)
+        bound = subset_sort_bucket_bound(keys_per, w)
+        assert rounds == SUBSET_SORT_ROUNDS
+        assert max_bucket < bound
+        rows.append(
+            [w, n, keys_per, rounds, SUBSET_SORT_ROUNDS, max_bucket, bound]
+        )
+    return rows
+
+
+def test_bench_subset_sort(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E4  Lemma 4.4 rounds + Lemma 4.3 bucket balance",
+            [
+                "w",
+                "n",
+                "keys/node",
+                "rounds",
+                "bound",
+                "max bucket",
+                "bucket bound",
+            ],
+            rows,
+        )
+    )

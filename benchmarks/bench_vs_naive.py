@@ -1,0 +1,57 @@
+"""E8 — naive direct routing needs up to n rounds; Lenzen stays at 16.
+
+The hotspot (permutation) workload forces the naive router to push n
+messages over single edges — its round count grows linearly with n while
+the deterministic algorithm stays constant.  The crossover sits where
+``max edge demand > 16``.
+"""
+
+from repro.analysis import ROUTING_ROUNDS, render_table
+from repro.routing import (
+    naive_round_bound,
+    permutation_instance,
+    route_lenzen,
+    route_naive,
+    uniform_instance,
+    verify_delivery,
+)
+
+
+def _measure():
+    rows = []
+    for n in (9, 16, 25, 36, 49, 64):
+        inst = permutation_instance(n)
+        naive = route_naive(inst)
+        verify_delivery(inst, naive.outputs)
+        det = route_lenzen(inst)
+        verify_delivery(inst, det.outputs)
+        assert naive.rounds == n == naive_round_bound(inst)
+        assert det.rounds <= ROUTING_ROUNDS
+        winner = "naive" if naive.rounds < det.rounds else "Lenzen"
+        rows.append(["hotspot", n, naive.rounds, det.rounds, winner])
+    # balanced traffic: naive wins small constants, as expected
+    inst = uniform_instance(36, seed=1)
+    naive = route_naive(inst)
+    det = route_lenzen(inst)
+    rows.append(
+        [
+            "uniform",
+            36,
+            naive.rounds,
+            det.rounds,
+            "naive" if naive.rounds < det.rounds else "Lenzen",
+        ]
+    )
+    return rows
+
+
+def test_bench_vs_naive(benchmark, table_printer):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table_printer(
+        render_table(
+            "E8  Naive direct routing vs Theorem 3.7 "
+            "(crossover where max edge demand > 16)",
+            ["workload", "n", "naive rounds", "Lenzen rounds", "winner"],
+            rows,
+        )
+    )

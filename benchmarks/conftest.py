@@ -1,0 +1,20 @@
+"""Shared helpers for the experiment benches (E1-E12 in DESIGN.md).
+
+Every bench measures *round counts* (the paper's cost metric) and asserts
+them against the theorem bounds, while pytest-benchmark records wall-clock
+simulation time as a secondary signal.  Tables are printed so ``pytest
+benchmarks/ --benchmark-only -s`` regenerates the EXPERIMENTS.md rows.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def table_printer(capsys):
+    """Print a table bypassing capture so it lands in the bench log."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _print

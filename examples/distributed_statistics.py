@@ -1,0 +1,59 @@
+"""Distributed order statistics over sharded measurements.
+
+n sensor aggregators each hold n latency samples.  Constant-round
+congested-clique sorting answers global questions no aggregator could
+answer locally: exact median, tail percentiles, the most common reading
+(mode), and every sample's global rank.
+
+Run:  python examples/distributed_statistics.py
+"""
+
+import random
+
+from repro import (
+    SortInstance,
+    index_keys,
+    median,
+    mode,
+    select_kth,
+    verify_indices,
+)
+
+
+def main() -> None:
+    n = 16
+    rng = random.Random(99)
+    # latency samples in ms, quantized — duplicates are common.
+    samples = [
+        [min(199, max(0, int(rng.gauss(40, 25)))) for _ in range(n)]
+        for _ in range(n)
+    ]
+    inst = SortInstance(n, samples, key_universe=200)
+    flat = sorted(s for row in samples for s in row)
+    total = len(flat)
+
+    med = median(inst)
+    print(f"median latency  : {med.outputs[0]} ms "
+          f"({med.rounds} rounds; all {n} nodes agree: "
+          f"{len(set(med.outputs)) == 1})")
+    assert med.outputs[0] == flat[total // 2]
+
+    p99 = select_kth(inst, int(total * 0.99))
+    print(f"p99 latency     : {p99.outputs[0]} ms ({p99.rounds} rounds)")
+    assert p99.outputs[0] == flat[int(total * 0.99)]
+
+    common = mode(inst)
+    value, count = common.outputs[0]
+    print(f"mode            : {value} ms seen {count} times "
+          f"({common.rounds} rounds)")
+
+    ranks = index_keys(inst)
+    verify_indices(inst, ranks.outputs)
+    sample0, seq0 = samples[3][0], 0
+    rank0 = ranks.outputs[3][(sample0, seq0)]
+    print(f"indexing        : node 3's first sample ({sample0} ms) has "
+          f"dedup rank {rank0} ({ranks.rounds} rounds)")
+
+
+if __name__ == "__main__":
+    main()

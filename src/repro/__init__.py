@@ -1,0 +1,86 @@
+"""repro — reproduction of Lenzen (PODC 2013), "Optimal Deterministic
+Routing and Sorting on the Congested Clique".
+
+Quickstart::
+
+    from repro import route_lenzen, uniform_instance, verify_delivery
+    inst = uniform_instance(25, seed=1)
+    result = route_lenzen(inst)       # Theorem 3.7: at most 16 rounds
+    verify_delivery(inst, result.outputs)
+
+    from repro import sort_lenzen, uniform_sort_instance, verify_sorted_batches
+    sinst = uniform_sort_instance(25, seed=1)
+    sres = sort_lenzen(sinst)         # Theorem 4.5: 37 rounds
+    verify_sorted_batches(sinst, sres.outputs)
+
+Subpackages: :mod:`repro.core` (simulator), :mod:`repro.graphtools`
+(Koenig coloring), :mod:`repro.routing`, :mod:`repro.sorting`,
+:mod:`repro.extensions` (Section 6), :mod:`repro.analysis`.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, extensions, graphtools, routing, sorting  # noqa: F401
+from .core import CongestedClique, Packet, RunResult, run_protocol
+from .routing import (
+    Message,
+    RoutingInstance,
+    block_skew_instance,
+    permutation_instance,
+    route_lenzen,
+    route_naive,
+    route_optimized,
+    route_valiant,
+    transpose_instance,
+    uniform_instance,
+    verify_delivery,
+)
+from .sorting import (
+    SortInstance,
+    duplicate_heavy_instance,
+    index_keys,
+    median,
+    mode,
+    sample_sort,
+    select_kth,
+    sort_lenzen,
+    uniform_sort_instance,
+    verify_indices,
+    verify_sorted_batches,
+)
+
+__all__ = [
+    "__version__",
+    "CongestedClique",
+    "Packet",
+    "RunResult",
+    "run_protocol",
+    "Message",
+    "RoutingInstance",
+    "uniform_instance",
+    "permutation_instance",
+    "transpose_instance",
+    "block_skew_instance",
+    "route_lenzen",
+    "route_optimized",
+    "route_naive",
+    "route_valiant",
+    "verify_delivery",
+    "SortInstance",
+    "uniform_sort_instance",
+    "duplicate_heavy_instance",
+    "sort_lenzen",
+    "sample_sort",
+    "index_keys",
+    "select_kth",
+    "median",
+    "mode",
+    "verify_sorted_batches",
+    "verify_indices",
+    "core",
+    "graphtools",
+    "routing",
+    "sorting",
+    "extensions",
+    "analysis",
+]

@@ -1,0 +1,32 @@
+"""Theoretical bounds and reporting helpers for the experiment harness."""
+
+from .bounds import (
+    KNOWN_PATTERN_ROUNDS,
+    ROUTING_OPTIMIZED_ROUNDS,
+    ROUTING_PHASES,
+    ROUTING_ROUNDS,
+    SMALL_KEY_ROUNDS,
+    SORTING_PHASES,
+    SORTING_ROUNDS,
+    SUBSET_SORT_ROUNDS,
+    UNKNOWN_PATTERN_ROUNDS,
+    naive_routing_rounds,
+    subset_sort_bucket_bound,
+)
+from .report import check_bound, render_table
+
+__all__ = [
+    "ROUTING_ROUNDS",
+    "ROUTING_OPTIMIZED_ROUNDS",
+    "SORTING_ROUNDS",
+    "SUBSET_SORT_ROUNDS",
+    "KNOWN_PATTERN_ROUNDS",
+    "UNKNOWN_PATTERN_ROUNDS",
+    "SMALL_KEY_ROUNDS",
+    "ROUTING_PHASES",
+    "SORTING_PHASES",
+    "naive_routing_rounds",
+    "subset_sort_bucket_bound",
+    "render_table",
+    "check_bound",
+]

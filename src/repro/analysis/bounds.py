@@ -1,0 +1,60 @@
+"""Closed-form round bounds from the paper, used by benchmarks and tests."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Theorem 3.7 — deterministic routing, any n.
+ROUTING_ROUNDS = 16
+#: Theorem 5.4 — computation-efficient routing.
+ROUTING_OPTIMIZED_ROUNDS = 12
+#: Theorem 4.5 — deterministic sorting.
+SORTING_ROUNDS = 37
+#: Lemma 4.4 — subset sort (with Step 8).
+SUBSET_SORT_ROUNDS = 10
+#: Corollary 3.3 — routing with commonly known pattern.
+KNOWN_PATTERN_ROUNDS = 2
+#: Corollary 3.4 — routing within |W| <= sqrt(n) with unknown pattern.
+UNKNOWN_PATTERN_ROUNDS = 4
+#: Section 6.3 — small-key ordering.
+SMALL_KEY_ROUNDS = 2
+
+#: The paper's per-step decomposition of the 16-round router
+#: (Lemma 3.6: 2+0+2+0+2+1, Corollary 3.5: 4, Step 4: 1, Corollary 3.4: 4).
+ROUTING_PHASES: Dict[str, int] = {
+    "alg2.step1": 2,
+    "alg2.step2": 0,
+    "alg2.step3": 2,
+    "alg2.step4": 0,
+    "alg2.step5": 2,
+    "alg2.step6": 1,
+    "alg1.step3": 4,
+    "alg1.step4": 1,
+    "alg1.step5": 4,
+}
+
+#: Theorem 4.5's decomposition: 0 + 1 + 8 + 2 + 0 + 16 + 8 + 2 = 37.
+SORTING_PHASES: Dict[str, int] = {
+    "step2 (scatter samples)": 1,
+    "step3 (Algorithm 3 on samples)": 8,
+    "step4 (announce delimiters)": 2,
+    "step6 (Theorem 3.7 routing)": 16,
+    "step7 (Algorithm 3 per group)": 8,
+    "step8 (rebalance)": 2,
+}
+
+
+def naive_routing_rounds(max_edge_demand: int) -> int:
+    """Naive direct routing: rounds equal the maximum per-edge demand."""
+    return max_edge_demand
+
+
+def subset_sort_bucket_bound(k_max: int, w: int) -> int:
+    """Generalized Lemma 4.3: bucket size bound for w nodes, k_max keys.
+
+    With sampling stride ``s = ceil(k_max/w)`` and delimiter stride ``w``,
+    every bucket holds fewer than ``k_max + s*w + w`` keys (the paper's
+    ``< 4n`` for ``(w, k_max) = (sqrt(n), 2n)``).
+    """
+    stride = max(1, -(-k_max // w))
+    return k_max + stride * w + w

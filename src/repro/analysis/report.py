@@ -1,0 +1,30 @@
+"""Plain-text table rendering for benchmark output (EXPERIMENTS.md rows)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> str:
+    """ASCII table with a title line — the benches print these."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max([len(h)] + [len(r[i]) for r in cells if i < len(r)])
+        for i, h in enumerate(headers)
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = [title, fmt(list(headers)), sep]
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)
+
+
+def check_bound(measured: int, bound: int, label: str) -> str:
+    """One-line verdict used in bench output."""
+    verdict = "OK" if measured <= bound else "EXCEEDED"
+    return f"{label}: measured={measured} bound={bound} [{verdict}]"

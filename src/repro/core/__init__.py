@@ -1,0 +1,97 @@
+"""Core congested-clique simulation substrate.
+
+Public surface:
+
+* :class:`CongestedClique` / :func:`run_protocol` — the round engine.
+* :class:`Packet` and packing helpers — the message model.
+* :class:`NodeContext` — the per-node execution environment.
+* :class:`GroupPartition` / :class:`OverlayDecomposition` — the paper's
+  node-set partitions.
+* Piggyback and outbox-composition helpers in :mod:`repro.core.protocol`.
+"""
+
+from .context import NodeContext, SharedCache
+from .errors import (
+    CapacityExceeded,
+    ColoringError,
+    EdgeConflict,
+    InvalidInstance,
+    ModelViolation,
+    ProtocolError,
+    ReproError,
+    VerificationError,
+    WordSizeViolation,
+)
+from .message import (
+    DEFAULT_CAPACITY,
+    Packet,
+    bundle,
+    pack_pair,
+    pack_triple,
+    packet,
+    unbundle,
+    unpack_pair,
+    unpack_triple,
+    validate_packet,
+)
+from .metrics import MeterReport, OperationMeter, RunStats
+from .network import CongestedClique, NodeGen, RunResult, run_protocol
+from .protocol import (
+    attach_piggyback,
+    idle,
+    merge_outboxes,
+    single_round,
+    strip_piggyback,
+)
+from .topology import (
+    GroupPartition,
+    OverlayDecomposition,
+    contiguous_ranges,
+    is_perfect_square,
+    isqrt_exact,
+    split_evenly,
+    square_partition,
+)
+
+__all__ = [
+    "CongestedClique",
+    "NodeGen",
+    "RunResult",
+    "run_protocol",
+    "NodeContext",
+    "SharedCache",
+    "Packet",
+    "packet",
+    "bundle",
+    "unbundle",
+    "pack_pair",
+    "unpack_pair",
+    "pack_triple",
+    "unpack_triple",
+    "validate_packet",
+    "DEFAULT_CAPACITY",
+    "MeterReport",
+    "OperationMeter",
+    "RunStats",
+    "GroupPartition",
+    "OverlayDecomposition",
+    "square_partition",
+    "isqrt_exact",
+    "is_perfect_square",
+    "split_evenly",
+    "contiguous_ranges",
+    "attach_piggyback",
+    "strip_piggyback",
+    "merge_outboxes",
+    "idle",
+    "single_round",
+    "ReproError",
+    "ModelViolation",
+    "CapacityExceeded",
+    "EdgeConflict",
+    "WordSizeViolation",
+    "InvalidInstance",
+    "ProtocolError",
+    "ColoringError",
+    "VerificationError",
+]

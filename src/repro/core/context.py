@@ -1,0 +1,112 @@
+"""Per-node execution context and the shared deterministic-computation cache.
+
+A :class:`NodeContext` is what a protocol generator receives: the node's
+identity, the system size, helpers for deterministic common-knowledge
+computations, and instrumentation hooks.  Protocols must treat the context as
+their *only* window onto the system — all cross-node information flows
+through messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional
+
+from .errors import ProtocolError
+from .metrics import OperationMeter
+
+
+class SharedCache:
+    """Memoizer for deterministic computations performed by every node.
+
+    Semantics: every node evaluates the same pure function of commonly known
+    data and obtains the identical result (this is how the paper's nodes
+    agree on edge colorings without communication).  In a single-process
+    simulation it is wasteful to recompute the result ``n`` times, so nodes
+    may route such computations through this cache.
+
+    ``verify_mode`` recomputes on every call and asserts agreement with the
+    cached value — tests use it to confirm that "shared" computations really
+    are a pure function of their key-identified inputs.
+    """
+
+    def __init__(self, verify_mode: bool = False) -> None:
+        self._store: Dict[Hashable, Any] = {}
+        self.verify_mode = verify_mode
+        self.hits = 0
+        self.misses = 0
+
+    def compute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        if key in self._store:
+            self.hits += 1
+            if self.verify_mode:
+                fresh = fn()
+                if fresh != self._store[key]:
+                    raise ProtocolError(
+                        f"shared computation for key {key!r} is not "
+                        "deterministic: nodes would disagree"
+                    )
+            return self._store[key]
+        self.misses += 1
+        value = fn()
+        self._store[key] = value
+        return value
+
+
+class NodeContext:
+    """Everything a protocol running at one node may see and use.
+
+    Attributes:
+        node_id: this node's identifier in ``{0, ..., n-1}``.  (The paper
+            numbers nodes 1..n; we use 0-based ids throughout and translate
+            only in documentation.)
+        n: total number of nodes.
+        capacity: maximum words per packet on any edge.
+        meter: operation meter for Section-5 computation/memory accounting,
+            or ``None`` when metering is disabled.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        n: int,
+        capacity: int,
+        shared: SharedCache,
+        meter: Optional[OperationMeter] = None,
+        phase_sink: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.n = n
+        self.capacity = capacity
+        self._shared = shared
+        self.meter = meter
+        self._phase_sink = phase_sink
+
+    def shared_compute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        """Evaluate a deterministic common-knowledge function.
+
+        ``key`` must uniquely identify the inputs of ``fn``: two nodes calling
+        with the same key are asserting they would compute the same value.
+        """
+        return self._shared.compute(key, fn)
+
+    def enter_phase(self, name: str) -> None:
+        """Attribute subsequent rounds to a named algorithm phase.
+
+        Idempotent across nodes: the engine records the phase transition once
+        per round regardless of how many nodes announce it.
+        """
+        if self._phase_sink is not None:
+            self._phase_sink(name)
+
+    def charge(self, steps: int = 1) -> None:
+        """Charge local computation steps to this node's meter, if any."""
+        if self.meter is not None:
+            self.meter.charge(steps)
+
+    def charge_sort(self, length: int) -> None:
+        if self.meter is not None:
+            self.meter.charge_sort(length)
+
+    def observe_live_words(self, words: int) -> None:
+        if self.meter is not None:
+            self.meter.observe_live_words(words)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the congested-clique reproduction.
+
+Every failure mode in the simulator and the algorithms raises a subclass of
+:class:`ReproError`, so callers can distinguish model violations (a bug in an
+algorithm) from malformed problem instances (a bug in the caller's input).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelViolation(ReproError):
+    """An algorithm violated the congested-clique model.
+
+    Examples: sending two messages over one directed edge in a single round,
+    exceeding the per-message word capacity, or addressing a non-existent
+    node.  These always indicate a bug in protocol code, never bad input.
+    """
+
+
+class CapacityExceeded(ModelViolation):
+    """A packet carried more words than the per-edge capacity allows."""
+
+
+class EdgeConflict(ModelViolation):
+    """More than one packet was scheduled on a directed edge in one round."""
+
+
+class WordSizeViolation(ModelViolation):
+    """A packet word fell outside the O(log n)-bit polynomial bound."""
+
+
+class InvalidInstance(ReproError):
+    """A problem instance does not satisfy the problem's preconditions.
+
+    For the Information Distribution Task (Problem 3.1) this means a node is
+    source or destination of more than ``n`` messages; for sorting (Problem
+    4.1) it means a node holds the wrong number of keys.
+    """
+
+
+class ProtocolError(ReproError):
+    """A protocol reached an internal state that should be impossible.
+
+    Raised when an invariant the paper proves (e.g. "each node now holds
+    exactly sqrt(n) messages per destination set") fails at runtime; this is
+    the simulator acting as a proof checker.
+    """
+
+
+class ColoringError(ReproError):
+    """Edge-coloring machinery was given an input it cannot color.
+
+    For example, asking for an exact Koenig coloring of a non-regular
+    bipartite multigraph without padding, or a proper-coloring verification
+    failure.
+    """
+
+
+class VerificationError(ReproError):
+    """An algorithm's final output failed post-hoc verification."""

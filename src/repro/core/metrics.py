@@ -1,0 +1,135 @@
+"""Instrumentation: round, traffic, and local-computation accounting.
+
+Round counts are the paper's primary cost measure; Section 5 additionally
+claims ``O(n log n)`` local computation steps and memory bits per node.  The
+:class:`OperationMeter` lets algorithm code charge abstract "computational
+steps" (basic arithmetic on O(log n)-bit values, per the paper's model in
+Section 2) and track peak live words, so benchmarks can exhibit the claimed
+scaling empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RoundStats:
+    """Traffic statistics for one synchronous round."""
+
+    round_index: int
+    packets: int = 0
+    words: int = 0
+    max_words_on_edge: int = 0
+
+    def record_packet(self, n_words: int) -> None:
+        self.packets += 1
+        self.words += n_words
+        if n_words > self.max_words_on_edge:
+            self.max_words_on_edge = n_words
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics for a full protocol run."""
+
+    n: int
+    rounds: int = 0
+    total_packets: int = 0
+    total_words: int = 0
+    per_round: List[RoundStats] = field(default_factory=list)
+    #: rounds attributed to named phases, in execution order.
+    phase_rounds: List["PhaseSpan"] = field(default_factory=list)
+
+    def begin_round(self, round_index: int) -> RoundStats:
+        stats = RoundStats(round_index)
+        self.per_round.append(stats)
+        return stats
+
+    def commit_round(self, stats: RoundStats) -> None:
+        self.rounds += 1
+        self.total_packets += stats.packets
+        self.total_words += stats.words
+
+    def phase_table(self) -> Dict[str, int]:
+        """Rounds per phase name (summed over repeated phases)."""
+        table: Dict[str, int] = {}
+        for span in self.phase_rounds:
+            table[span.name] = table.get(span.name, 0) + span.rounds
+        return table
+
+
+@dataclass
+class PhaseSpan:
+    """A contiguous span of rounds attributed to a named algorithm phase."""
+
+    name: str
+    start_round: int
+    rounds: int = 0
+
+
+class OperationMeter:
+    """Per-node counter of abstract local computation steps and memory.
+
+    The paper's computation model (Section 2) charges one step per basic
+    arithmetic operation on an O(log n)-bit value.  Algorithms call
+    :meth:`charge` at the granularity of such operations (or a tight upper
+    bound on a block of them) and :meth:`observe_live_words` when their
+    working set changes.  Benchmark E2 reports ``max over nodes of steps``
+    against ``c * n * log2(n)``.
+    """
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.peak_live_words = 0
+
+    def charge(self, steps: int = 1) -> None:
+        """Charge ``steps`` computational steps."""
+        self.steps += steps
+
+    def observe_live_words(self, words: int) -> None:
+        """Record the current working-set size in words."""
+        if words > self.peak_live_words:
+            self.peak_live_words = words
+
+    def charge_sort(self, length: int) -> None:
+        """Charge a comparison sort of ``length`` items: ~length*log2(length)."""
+        if length > 1:
+            self.charge(int(length * math.log2(length)) + length)
+        else:
+            self.charge(1)
+
+
+@dataclass
+class MeterReport:
+    """Snapshot of every node's meter after a run."""
+
+    steps_per_node: List[int]
+    peak_words_per_node: List[int]
+
+    @property
+    def max_steps(self) -> int:
+        return max(self.steps_per_node) if self.steps_per_node else 0
+
+    @property
+    def max_peak_words(self) -> int:
+        return max(self.peak_words_per_node) if self.peak_words_per_node else 0
+
+    def normalized_steps(self, n: int) -> float:
+        """``max_steps / (n log2 n)`` — constant iff steps are O(n log n)."""
+        if n < 2:
+            return float(self.max_steps)
+        return self.max_steps / (n * math.log2(n))
+
+    def normalized_words(self, n: int) -> float:
+        """``max_peak_words / n`` — constant iff memory is O(n log n) bits."""
+        return self.max_peak_words / max(n, 1)
+
+
+def collect_meters(meters: List[Optional[OperationMeter]]) -> MeterReport:
+    """Aggregate per-node meters (``None`` entries count as zero)."""
+    steps = [m.steps if m is not None else 0 for m in meters]
+    words = [m.peak_live_words if m is not None else 0 for m in meters]
+    return MeterReport(steps, words)

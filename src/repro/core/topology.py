@@ -1,0 +1,166 @@
+"""Node-set partitioning used throughout the paper's algorithms.
+
+Algorithm 1 partitions ``V = {0..n-1}`` into ``sqrt(n)`` consecutive groups
+of ``sqrt(n)`` nodes each (the sets the paper calls ``W`` and ``W'``).
+Theorem 3.7 handles non-square ``n`` via the overlay sets ``V1``, ``V2``,
+``V3``.  This module centralizes those index calculations so every algorithm
+and test uses identical group arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def isqrt_exact(n: int) -> int:
+    """Return ``sqrt(n)`` if ``n`` is a perfect square, else raise."""
+    r = math.isqrt(n)
+    if r * r != n:
+        raise ValueError(f"n={n} is not a perfect square")
+    return r
+
+
+def is_perfect_square(n: int) -> bool:
+    r = math.isqrt(n)
+    return r * r == n
+
+
+@dataclass(frozen=True)
+class GroupPartition:
+    """Partition of ``{0..n-1}`` into ``num_groups`` consecutive groups.
+
+    For square ``n`` the paper's layout is ``num_groups = group_size =
+    sqrt(n)``; group ``g`` holds nodes ``g*s .. (g+1)*s - 1``.
+    """
+
+    n: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.n % self.group_size != 0:
+            raise ValueError(
+                f"group_size {self.group_size} does not divide n={self.n}"
+            )
+
+    @property
+    def num_groups(self) -> int:
+        return self.n // self.group_size
+
+    def group_of(self, node: int) -> int:
+        """Index of the group containing ``node``."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} out of range for n={self.n}")
+        return node // self.group_size
+
+    def rank_in_group(self, node: int) -> int:
+        """Position of ``node`` within its group (0-based)."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} out of range for n={self.n}")
+        return node % self.group_size
+
+    def members(self, group: int) -> range:
+        """Nodes of group ``group`` in increasing id order."""
+        if not 0 <= group < self.num_groups:
+            raise ValueError(
+                f"group {group} out of range (num_groups={self.num_groups})"
+            )
+        start = group * self.group_size
+        return range(start, start + self.group_size)
+
+    def member(self, group: int, rank: int) -> int:
+        """The ``rank``-th node of group ``group``."""
+        if not 0 <= rank < self.group_size:
+            raise ValueError(f"rank {rank} out of range")
+        return group * self.group_size + rank
+
+    def groups(self) -> range:
+        return range(self.num_groups)
+
+
+def square_partition(n: int) -> GroupPartition:
+    """The paper's canonical partition for square ``n``: sqrt(n) groups."""
+    r = isqrt_exact(n)
+    return GroupPartition(n=n, group_size=r)
+
+
+@dataclass(frozen=True)
+class OverlayDecomposition:
+    """Theorem 3.7's decomposition for non-square ``n``.
+
+    ``V1 = {0 .. m-1}`` and ``V2 = {n-m .. n-1}`` with ``m = floor(sqrt(n))^2``
+    are two (overlapping) perfect-square windows covering all of ``V``.
+    ``V3`` is the union of the non-overlap parts: traffic between the low
+    fringe ``V1 \\ V2`` and the high fringe ``V2 \\ V1`` cannot be handled
+    inside either window and takes the paper's dedicated 6-round detour.
+    """
+
+    n: int
+
+    @property
+    def m(self) -> int:
+        """Size of each square window: ``floor(sqrt(n))**2``."""
+        r = math.isqrt(self.n)
+        return r * r
+
+    @property
+    def v1(self) -> range:
+        return range(0, self.m)
+
+    @property
+    def v2(self) -> range:
+        return range(self.n - self.m, self.n)
+
+    @property
+    def low_fringe(self) -> range:
+        """``V1 \\ V2`` — nodes only reachable inside window 1."""
+        return range(0, self.n - self.m)
+
+    @property
+    def high_fringe(self) -> range:
+        """``V2 \\ V1`` — nodes only reachable inside window 2."""
+        return range(self.m, self.n)
+
+    @property
+    def core(self) -> range:
+        """``V1 ∩ V2`` — nodes present in both windows."""
+        return range(self.n - self.m, self.m)
+
+    def classify_pair(self, src: int, dst: int) -> str:
+        """Which sub-instance handles a (src, dst) message.
+
+        Returns ``"v1"`` or ``"v2"`` when both endpoints fit a window (core
+        pairs are canonically assigned to ``"v1"``), else ``"cross"`` for the
+        fringe-to-fringe traffic routed by the 6-round detour.
+        """
+        in_v1 = src < self.m and dst < self.m
+        in_v2 = src >= self.n - self.m and dst >= self.n - self.m
+        if in_v1:
+            return "v1"
+        if in_v2:
+            return "v2"
+        return "cross"
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Sizes of ``parts`` near-equal shares of ``total`` (larger shares first).
+
+    Used whenever the paper distributes a bucket of keys across the members
+    of a group "such that each node receives either floor or ceil" (Algorithm
+    4 Step 6).
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def contiguous_ranges(sizes: List[int]) -> List[Tuple[int, int]]:
+    """Half-open ``(start, end)`` ranges for consecutive blocks of ``sizes``."""
+    out: List[Tuple[int, int]] = []
+    pos = 0
+    for s in sizes:
+        out.append((pos, pos + s))
+        pos += s
+    return out

@@ -1,0 +1,18 @@
+"""Section 6: varying message and key sizes."""
+
+from .large_messages import WideMessage, route_wide_messages
+from .small_keys import (
+    ROUNDS_SMALL_KEYS,
+    SmallKeyLayout,
+    small_key_program,
+    sort_small_keys,
+)
+
+__all__ = [
+    "WideMessage",
+    "route_wide_messages",
+    "SmallKeyLayout",
+    "small_key_program",
+    "sort_small_keys",
+    "ROUNDS_SMALL_KEYS",
+]

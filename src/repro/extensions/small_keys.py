@@ -1,0 +1,172 @@
+"""Section 6.3: sorting keys of o(log n) bits in 2 rounds with 1-bit messages.
+
+With at most ``K`` distinct keys, disjoint committees of ``m = floor(n/K)``
+nodes are statically assigned to each key ``kappa``.  Inside a committee,
+``B`` bit-positions (of per-node multiplicities) times ``J`` copy slots (of
+the aggregated one-counts) are laid out; then:
+
+* **Round 1**: every node sends, for every key and every bit position ``i``,
+  the ``i``-th bit of its multiplicity of that key to the ``J`` nodes
+  handling ``(kappa, i)`` — each message is a single bit.
+* **Round 2**: the ``j``-th handler of ``(kappa, i)`` counts the received
+  ones and sends to *each* node ``k`` the ``j``-th bit of (a) the total
+  one-count and (b) the one-count restricted to senders ``< k`` — two bits.
+
+From those bits every node reconstructs the exact global multiplicity of
+every key *and* the number of copies held by smaller-id nodes, which orders
+all copies: node ``k``'s ``t``-th copy of ``kappa`` has global rank
+``prefix_smaller_keys + copies_before_k + t``.
+
+This orders up to ``n * max_count`` keys in 2 rounds with 1-2 bit messages —
+the paper's point that tiny keys make sorting *easier*, unlike tiny
+messages for routing (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Sequence
+
+from ..core.context import NodeContext
+from ..core.errors import InvalidInstance, ProtocolError
+from ..core.message import Packet
+from ..core.network import CongestedClique, RunResult
+
+ROUNDS_SMALL_KEYS = 2
+
+
+class SmallKeyLayout:
+    """Static committee layout: key x bit-position x copy slot -> node id."""
+
+    def __init__(self, n: int, num_keys: int, max_count: int) -> None:
+        self.n = n
+        self.num_keys = num_keys
+        self.max_count = max_count
+        #: bits needed for one node's multiplicity of one key.
+        self.count_bits = max(1, max_count.bit_length())
+        #: bits needed for a one-count over n senders.
+        self.sum_bits = max(1, n.bit_length())
+        per_key = self.count_bits * self.sum_bits
+        if num_keys * per_key > n:
+            raise InvalidInstance(
+                f"need {num_keys * per_key} committee nodes "
+                f"({num_keys} keys x {self.count_bits} bits x "
+                f"{self.sum_bits} copies) but n={n}; Section 6.3 requires "
+                "K <= n / (bits^2)"
+            )
+        self.per_key = per_key
+
+    def handler(self, key: int, bit: int, copy: int) -> int:
+        """Node handling copy ``copy`` of bit ``bit`` of key ``key``."""
+        return key * self.per_key + bit * self.sum_bits + copy
+
+    def decode(self, node: int):
+        """Inverse of :meth:`handler`, or ``None`` if ``node`` is idle."""
+        if node >= self.num_keys * self.per_key:
+            return None
+        key, rest = divmod(node, self.per_key)
+        bit, copy = divmod(rest, self.sum_bits)
+        return key, bit, copy
+
+
+def small_key_program(
+    n: int,
+    counts_by_node: Sequence[Sequence[int]],
+    num_keys: int,
+    max_count: int,
+) -> Callable[[NodeContext], Generator]:
+    """Program factory; ``counts_by_node[v][kappa]`` = v's copies of kappa."""
+    layout = SmallKeyLayout(n, num_keys, max_count)
+
+    def program(ctx: NodeContext) -> Generator:
+        me = ctx.node_id
+        my_counts = list(counts_by_node[me])
+        if len(my_counts) != num_keys:
+            raise InvalidInstance("count vector length != num_keys")
+
+        # Round 1: bit i of my multiplicity of key kappa to every copy
+        # handler of (kappa, i).  One-bit payloads.
+        ctx.enter_phase("s63.bits")
+        outbox: Dict[int, Packet] = {}
+        for kappa in range(num_keys):
+            if my_counts[kappa] > max_count:
+                raise InvalidInstance("multiplicity exceeds max_count")
+            for bit in range(layout.count_bits):
+                value = (my_counts[kappa] >> bit) & 1
+                for copy in range(layout.sum_bits):
+                    outbox[layout.handler(kappa, bit, copy)] = Packet(
+                        (value,)
+                    )
+        # Multiple (kappa, bit) pairs never share a handler, so one packet
+        # per destination; but *this node* addresses each handler once only
+        # because handlers are distinct per (kappa, bit, copy).
+        inbox = yield outbox
+
+        # Handler role: count ones, remember who sent them (for prefixes).
+        role = layout.decode(me)
+        senders_with_one: List[int] = []
+        if role is not None:
+            for src in sorted(inbox):
+                if inbox[src].words[0]:
+                    senders_with_one.append(src)
+
+        # Round 2: handler (kappa, bit, copy=j) sends node k two bits — the
+        # j-th bit of the total one-count and of the one-count over senders
+        # < k.
+        ctx.enter_phase("s63.aggregate")
+        outbox = {}
+        if role is not None:
+            _kappa, _bit, j = role
+            total_ones = len(senders_with_one)
+            prefix = 0
+            ones = sorted(senders_with_one)
+            p = 0
+            for k in range(n):
+                while p < len(ones) and ones[p] < k:
+                    p += 1
+                outbox[k] = Packet(
+                    ((total_ones >> j) & 1, (p >> j) & 1)
+                )
+        inbox = yield outbox
+
+        # Reconstruct per-key totals and my prefix (copies at nodes < me).
+        totals = [0] * num_keys
+        prefixes = [0] * num_keys
+        for src, pkt in inbox.items():
+            decoded = layout.decode(src)
+            if decoded is None:
+                raise ProtocolError(f"bit from idle node {src}")
+            kappa, bit, j = decoded
+            tot_bit, pre_bit = pkt.words
+            totals[kappa] += (tot_bit << j) << bit
+            prefixes[kappa] += (pre_bit << j) << bit
+
+        # Global rank of my t-th copy of kappa:
+        # sum of totals of smaller keys + my prefix + t.
+        smaller = 0
+        ranks: Dict[int, List[int]] = {}
+        for kappa in range(num_keys):
+            base = smaller + prefixes[kappa]
+            ranks[kappa] = [
+                base + t for t in range(my_counts[kappa])
+            ]
+            smaller += totals[kappa]
+        return {"totals": totals, "ranks": ranks}
+
+    return program
+
+
+def sort_small_keys(
+    n: int,
+    counts_by_node: Sequence[Sequence[int]],
+    num_keys: int,
+    max_count: int,
+) -> RunResult:
+    """Order all key copies in 2 rounds (Section 6.3).
+
+    Outputs per node: ``{"totals": [...], "ranks": {kappa: [global ranks of
+    my copies]}}``.
+    """
+    clique = CongestedClique(n, capacity=4)
+    return clique.run(
+        small_key_program(n, counts_by_node, num_keys, max_count)
+    )

@@ -1,0 +1,133 @@
+"""Edge colorings of bipartite multigraphs.
+
+Two algorithms back the paper's communication scheduling:
+
+* :func:`koenig_edge_coloring` — an *exact* Delta-coloring of a regular
+  bipartite multigraph (Koenig's line coloring theorem, the paper's Theorem
+  3.2), computed by the classical recursion: even degree -> Euler partition
+  into two half-degree graphs; odd degree -> extract one perfect matching and
+  recurse on the even remainder.  The paper cites Cole–Ost–Schirra [1] for an
+  ``O(|E| log Delta)`` implementation; we use this simpler polynomial scheme
+  (see DESIGN.md "Simulation substitutions") — any deterministic proper
+  coloring computed identically by all nodes satisfies the algorithms.
+* :func:`greedy_edge_coloring` — the ``<= 2*Delta - 1`` color greedy coloring
+  of the paper's footnote 3, used by the Section 5 computation-efficient
+  variant.
+
+Both are pure functions of the input graph and deterministic, so simulated
+nodes agree on the schedule without communication.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.errors import ColoringError
+from .euler import euler_split
+from .matching import perfect_matching
+from .multigraph import BipartiteMultigraph, pad_to_regular
+
+
+def koenig_edge_coloring(graph: BipartiteMultigraph) -> List[int]:
+    """Color a d-regular bipartite multigraph with exactly ``d`` colors.
+
+    Returns ``colors[i]`` in ``0..d-1`` for each edge index ``i`` such that no
+    two edges sharing an endpoint receive the same color (each color class is
+    a perfect matching).
+
+    Raises:
+        ColoringError: if the graph is not regular.
+    """
+    if graph.left_size != graph.right_size:
+        raise ColoringError("Koenig coloring requires equal side sizes")
+    if not graph.is_regular():
+        raise ColoringError(
+            "Koenig coloring requires a regular graph; pad first "
+            "(see pad_to_regular)"
+        )
+    d = graph.regular_degree()
+    colors: List[Optional[int]] = [None] * graph.num_edges
+    _color_regular(graph, list(range(graph.num_edges)), d, 0, colors)
+    if any(c is None for c in colors):
+        raise ColoringError("internal error: some edges left uncolored")
+    return colors  # type: ignore[return-value]
+
+
+def _color_regular(
+    graph: BipartiteMultigraph,
+    back: List[int],
+    d: int,
+    base_color: int,
+    colors: List[Optional[int]],
+) -> None:
+    """Assign colors ``base_color .. base_color + d - 1`` to ``graph``.
+
+    ``back[i]`` maps the i-th edge of ``graph`` to its index in the original
+    graph whose ``colors`` array is being filled.
+    """
+    if d == 0 or graph.num_edges == 0:
+        return
+    if d == 1:
+        for i in range(graph.num_edges):
+            colors[back[i]] = base_color
+        return
+    if d % 2 == 1:
+        matching = perfect_matching(graph)
+        matched = set(matching)
+        for i in matching:
+            colors[back[i]] = base_color
+        rest = [i for i in range(graph.num_edges) if i not in matched]
+        sub, sub_back = graph.subgraph(rest)
+        _color_regular(
+            sub, [back[i] for i in sub_back], d - 1, base_color + 1, colors
+        )
+        return
+    half = d // 2
+    part_a, part_b = euler_split(graph)
+    sub_a, back_a = graph.subgraph(part_a)
+    sub_b, back_b = graph.subgraph(part_b)
+    _color_regular(sub_a, [back[i] for i in back_a], half, base_color, colors)
+    _color_regular(
+        sub_b, [back[i] for i in back_b], half, base_color + half, colors
+    )
+
+
+def koenig_coloring_padded(
+    graph: BipartiteMultigraph, degree: Optional[int] = None
+) -> List[int]:
+    """Koenig-color an irregular graph by padding it to regular first.
+
+    Dummy padding edges are colored too but discarded; only colors of the
+    real edges are returned.  The number of colors is ``degree`` (default:
+    the max degree of the input).
+    """
+    padded, num_real = pad_to_regular(graph, degree)
+    full = koenig_edge_coloring(padded)
+    return full[:num_real]
+
+
+def greedy_edge_coloring(graph: BipartiteMultigraph) -> List[int]:
+    """Greedy proper edge coloring with at most ``2*Delta - 1`` colors.
+
+    Edges are processed in index order; each takes the smallest color unused
+    at both endpoints.  This is the cheap coloring the paper's footnote 3
+    allows ("a simple greedy coloring of the line graph results in at most
+    2d-1 matchings") and Section 5 relies on for O(n log n) local work.
+    """
+    left_used: List[set] = [set() for _ in range(graph.left_size)]
+    right_used: List[set] = [set() for _ in range(graph.right_size)]
+    colors: List[int] = []
+    for u, v in graph.edges:
+        c = 0
+        used_u, used_v = left_used[u], right_used[v]
+        while c in used_u or c in used_v:
+            c += 1
+        used_u.add(c)
+        used_v.add(c)
+        colors.append(c)
+    return colors
+
+
+def num_colors(colors: List[int]) -> int:
+    """Number of distinct colors actually used."""
+    return len(set(colors)) if colors else 0

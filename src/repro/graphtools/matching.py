@@ -1,0 +1,100 @@
+"""Deterministic perfect matchings in bipartite multigraphs (Hopcroft–Karp).
+
+Koenig coloring of an odd-degree-regular multigraph extracts one perfect
+matching (which exists by Hall's theorem for any d-regular bipartite
+multigraph) and recurses on the even remainder.  Hopcroft–Karp runs on the
+underlying simple graph; a representative edge index (the smallest) is
+reported per matched pair so parallel edges stay distinguishable.
+
+Determinism: vertices and neighbors are always scanned in increasing index
+order, so every simulated node computes the same matching from the same
+graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import ColoringError
+from .multigraph import BipartiteMultigraph
+
+INF = float("inf")
+
+
+def maximum_matching(graph: BipartiteMultigraph) -> List[int]:
+    """Maximum matching as a list of edge indices (one per matched pair)."""
+    # Underlying simple adjacency with representative (smallest) edge index.
+    rep: Dict[Tuple[int, int], int] = {}
+    for idx, (u, v) in enumerate(graph.edges):
+        if (u, v) not in rep:
+            rep[(u, v)] = idx
+    simple_adj: List[List[int]] = [[] for _ in range(graph.left_size)]
+    for (u, v) in sorted(rep):
+        simple_adj[u].append(v)
+
+    match_left: List[Optional[int]] = [None] * graph.left_size
+    match_right: List[Optional[int]] = [None] * graph.right_size
+
+    def bfs() -> bool:
+        dist: List[float] = [INF] * graph.left_size
+        queue: deque = deque()
+        for u in range(graph.left_size):
+            if match_left[u] is None:
+                dist[u] = 0
+                queue.append(u)
+        found_augmenting = False
+        while queue:
+            u = queue.popleft()
+            for v in simple_adj[u]:
+                w = match_right[v]
+                if w is None:
+                    found_augmenting = True
+                elif dist[w] is INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        bfs.dist = dist  # type: ignore[attr-defined]
+        return found_augmenting
+
+    def dfs(u: int) -> bool:
+        dist = bfs.dist  # type: ignore[attr-defined]
+        for v in simple_adj[u]:
+            w = match_right[v]
+            if w is None or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INF
+        return False
+
+    while bfs():
+        for u in range(graph.left_size):
+            if match_left[u] is None:
+                dfs(u)
+
+    return [
+        rep[(u, v)]
+        for u, v in (
+            (u, match_left[u])
+            for u in range(graph.left_size)
+            if match_left[u] is not None
+        )
+    ]
+
+
+def perfect_matching(graph: BipartiteMultigraph) -> List[int]:
+    """A perfect matching of a regular bipartite multigraph.
+
+    Raises :class:`ColoringError` if the matching found is not perfect —
+    which cannot happen on a regular input (Hall's theorem) and therefore
+    signals a corrupt graph.
+    """
+    if graph.left_size != graph.right_size:
+        raise ColoringError("perfect matching requires equal side sizes")
+    matching = maximum_matching(graph)
+    if len(matching) != graph.left_size:
+        raise ColoringError(
+            f"no perfect matching: matched {len(matching)} of "
+            f"{graph.left_size} vertices (graph not regular?)"
+        )
+    return sorted(matching)

@@ -1,0 +1,69 @@
+"""Verification helpers for colorings and matchings (test/bench support)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.errors import ColoringError
+from .multigraph import BipartiteMultigraph
+
+
+def verify_proper_coloring(
+    graph: BipartiteMultigraph, colors: Sequence[int]
+) -> None:
+    """Assert that ``colors`` is a proper edge coloring of ``graph``.
+
+    Proper: no two edges sharing a left or right endpoint have equal color.
+    Raises :class:`ColoringError` on violation.
+    """
+    if len(colors) != graph.num_edges:
+        raise ColoringError(
+            f"{len(colors)} colors for {graph.num_edges} edges"
+        )
+    seen_left = set()
+    seen_right = set()
+    for (u, v), c in zip(graph.edges, colors):
+        if (u, c) in seen_left:
+            raise ColoringError(f"color {c} repeated at left vertex {u}")
+        if (v, c) in seen_right:
+            raise ColoringError(f"color {c} repeated at right vertex {v}")
+        seen_left.add((u, c))
+        seen_right.add((v, c))
+
+
+def verify_exact_coloring(
+    graph: BipartiteMultigraph, colors: Sequence[int], degree: int
+) -> None:
+    """Assert a proper coloring using colors ``0..degree-1`` only.
+
+    For a ``degree``-regular graph this means every color class is a perfect
+    matching — Koenig's theorem realized.
+    """
+    verify_proper_coloring(graph, colors)
+    for c in colors:
+        if not 0 <= c < degree:
+            raise ColoringError(f"color {c} outside 0..{degree - 1}")
+
+
+def verify_matching(graph: BipartiteMultigraph, edge_indices: Sequence[int]) -> None:
+    """Assert the edge set is a matching (no shared endpoints)."""
+    lefts = set()
+    rights = set()
+    for i in edge_indices:
+        u, v = graph.edges[i]
+        if u in lefts:
+            raise ColoringError(f"matching repeats left vertex {u}")
+        if v in rights:
+            raise ColoringError(f"matching repeats right vertex {v}")
+        lefts.add(u)
+        rights.add(v)
+
+
+def color_classes(colors: Sequence[int]) -> List[List[int]]:
+    """Edge indices grouped by color, index ``c`` holding class ``c``."""
+    if not colors:
+        return []
+    classes: List[List[int]] = [[] for _ in range(max(colors) + 1)]
+    for idx, c in enumerate(colors):
+        classes[c].append(idx)
+    return classes

@@ -1,0 +1,62 @@
+"""Routing on the congested clique (paper Sections 3 and 5 + baselines)."""
+
+from .general import ROUNDS_GENERAL, lenzen_general_program, route_lenzen
+from .lenzen import (
+    ROUNDS_SQUARE,
+    lenzen_square_program,
+    lenzen_wire_program,
+    route_lenzen_square,
+)
+from .naive import naive_round_bound, route_naive
+from .optimized import ROUNDS_OPTIMIZED, optimized_program, route_optimized
+from .primitives import (
+    ROUNDS_ANNOUNCE,
+    ROUNDS_KNOWN,
+    ROUNDS_UNKNOWN,
+    announce_within_group,
+    broadcast_word,
+    route_known,
+    route_unknown,
+)
+from .problem import (
+    Message,
+    RoutingInstance,
+    block_skew_instance,
+    from_demand,
+    permutation_instance,
+    transpose_instance,
+    uniform_instance,
+    verify_delivery,
+)
+from .randomized import route_valiant
+
+__all__ = [
+    "Message",
+    "RoutingInstance",
+    "uniform_instance",
+    "permutation_instance",
+    "transpose_instance",
+    "block_skew_instance",
+    "from_demand",
+    "verify_delivery",
+    "route_known",
+    "route_unknown",
+    "announce_within_group",
+    "broadcast_word",
+    "ROUNDS_KNOWN",
+    "ROUNDS_UNKNOWN",
+    "ROUNDS_ANNOUNCE",
+    "route_lenzen",
+    "route_lenzen_square",
+    "lenzen_square_program",
+    "lenzen_wire_program",
+    "lenzen_general_program",
+    "ROUNDS_SQUARE",
+    "ROUNDS_GENERAL",
+    "route_optimized",
+    "optimized_program",
+    "ROUNDS_OPTIMIZED",
+    "route_naive",
+    "naive_round_bound",
+    "route_valiant",
+]

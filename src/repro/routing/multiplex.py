@@ -1,0 +1,206 @@
+"""Channel multiplexing: run several protocols concurrently on one clique.
+
+Theorem 3.7's non-square construction runs three activities *in the same
+rounds*: the square algorithm inside window ``V1``, the square algorithm
+inside window ``V2``, and a 6-round detour for fringe-to-fringe traffic.
+Edges shared by two activities then carry both packets at once — the paper's
+"message size increases by a factor of at most 2".
+
+The multiplexer realizes this: each channel is a sub-protocol over a subset
+of nodes with its own virtual id space; per round, the sub-packets bound for
+one physical destination are concatenated with ``[channel, length]`` framing.
+Total words stay a constant multiple of a single channel's capacity, i.e.
+the model's O(log n) per edge with a larger constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from ..core.context import NodeContext
+from ..core.errors import ProtocolError
+from ..core.message import Packet
+
+
+class SubContext:
+    """A node's view of one channel: virtual id space and budgeted capacity.
+
+    Shared-computation keys and phase names are prefixed with the channel
+    name so concurrent channels never collide in the cache or the round
+    audit.
+    """
+
+    def __init__(
+        self,
+        parent: NodeContext,
+        channel: str,
+        local_id: int,
+        size: int,
+        capacity: int,
+    ) -> None:
+        self.node_id = local_id
+        self.n = size
+        self.capacity = capacity
+        self.meter = parent.meter
+        self._parent = parent
+        self._channel = channel
+
+    def shared_compute(self, key, fn):
+        return self._parent.shared_compute((self._channel, key), fn)
+
+    def enter_phase(self, name: str) -> None:
+        self._parent.enter_phase(f"{self._channel}:{name}")
+
+    def charge(self, steps: int = 1) -> None:
+        self._parent.charge(steps)
+
+    def charge_sort(self, length: int) -> None:
+        self._parent.charge_sort(length)
+
+    def observe_live_words(self, words: int) -> None:
+        self._parent.observe_live_words(words)
+
+
+@dataclass
+class Channel:
+    """One concurrent sub-protocol.
+
+    Attributes:
+        name: channel label (also the cache/phase prefix).
+        nodes: global node ids participating, in virtual-id order; ``None``
+            means all ``n`` nodes with identity mapping.
+        factory: builds the sub-protocol generator from a :class:`SubContext`
+            — called only at participating nodes.
+        capacity: word budget for this channel's packets.
+    """
+
+    name: str
+    nodes: Optional[Tuple[int, ...]]
+    factory: Callable[[SubContext], Generator]
+    capacity: int = 8
+
+
+def multiplex(
+    ctx: NodeContext, channels: Sequence[Channel]
+) -> Generator[Dict[int, Packet], Dict[int, Packet], List[Any]]:
+    """Drive all channels in lockstep at this node; returns their outputs.
+
+    Output list order matches ``channels``; entries are ``None`` for
+    channels this node does not participate in.
+    """
+    n = ctx.n
+    gens: List[Optional[Generator]] = []
+    to_global: List[Optional[Tuple[int, ...]]] = []
+    to_local: List[Optional[Dict[int, int]]] = []
+    outputs: List[Any] = [None] * len(channels)
+    done: List[bool] = [False] * len(channels)
+    pending: List[Dict[int, Packet]] = [{} for _ in channels]
+
+    for ci, ch in enumerate(channels):
+        if ch.nodes is None:
+            mapping = None
+            local = ctx.node_id
+            size = n
+            member = True
+        else:
+            mapping = {gid: li for li, gid in enumerate(ch.nodes)}
+            member = ctx.node_id in mapping
+            local = mapping.get(ctx.node_id, -1)
+            size = len(ch.nodes)
+        if not member:
+            gens.append(None)
+            done[ci] = True
+            to_global.append(ch.nodes)
+            to_local.append(mapping)
+            continue
+        sub = SubContext(ctx, ch.name, local, size, ch.capacity)
+        gen = ch.factory(sub)
+        gens.append(gen)
+        to_global.append(ch.nodes)
+        to_local.append(mapping)
+        try:
+            pending[ci] = _translate_out(next(gen), ch, to_global[ci])
+        except StopIteration as stop:
+            outputs[ci] = stop.value
+            done[ci] = True
+            gens[ci] = None
+
+    while not all(done):
+        # Frame and merge this round's sub-outboxes.
+        merged: Dict[int, List[int]] = {}
+        for ci, outbox in enumerate(pending):
+            for dest, pkt in outbox.items():
+                merged.setdefault(dest, []).extend(
+                    [ci, len(pkt.words)] + list(pkt.words)
+                )
+        round_out = {
+            dest: Packet(tuple(words)) for dest, words in merged.items()
+        }
+        pending = [{} for _ in channels]
+
+        inbox = yield round_out
+
+        # Demultiplex into per-channel inboxes.
+        sub_inboxes: List[Dict[int, Packet]] = [{} for _ in channels]
+        for src, pkt in inbox.items():
+            words = pkt.words
+            i = 0
+            while i < len(words):
+                if i + 2 > len(words):
+                    raise ProtocolError("truncated channel frame")
+                ci, length = words[i], words[i + 1]
+                if not 0 <= ci < len(channels):
+                    raise ProtocolError(f"unknown channel {ci}")
+                body = words[i + 2 : i + 2 + length]
+                if len(body) != length:
+                    raise ProtocolError("truncated channel frame body")
+                i += 2 + length
+                mapping = to_local[ci]
+                local_src = src if mapping is None else mapping.get(src)
+                if local_src is None:
+                    raise ProtocolError(
+                        f"channel {channels[ci].name} packet from non-member "
+                        f"{src}"
+                    )
+                sub_inboxes[ci][local_src] = Packet(tuple(body))
+
+        # Advance every live channel.
+        for ci, gen in enumerate(gens):
+            if gen is None:
+                if sub_inboxes[ci]:
+                    raise ProtocolError(
+                        f"packet for finished channel {channels[ci].name}"
+                    )
+                continue
+            try:
+                pending[ci] = _translate_out(
+                    gen.send(sub_inboxes[ci]), channels[ci], to_global[ci]
+                )
+            except StopIteration as stop:
+                outputs[ci] = stop.value
+                done[ci] = True
+                gens[ci] = None
+    return outputs
+
+
+def _translate_out(
+    raw: Optional[Dict[int, Packet]],
+    channel: Channel,
+    nodes: Optional[Tuple[int, ...]],
+) -> Dict[int, Packet]:
+    """Map a sub-outbox from virtual to global destination ids."""
+    if not raw:
+        return {}
+    out: Dict[int, Packet] = {}
+    for dest, pkt in raw.items():
+        if isinstance(pkt, tuple):
+            pkt = Packet(pkt)
+        if len(pkt.words) > channel.capacity:
+            raise ProtocolError(
+                f"channel {channel.name} packet of {len(pkt.words)} words "
+                f"exceeds channel capacity {channel.capacity}"
+            )
+        gdest = dest if nodes is None else nodes[dest]
+        out[gdest] = pkt
+    return out

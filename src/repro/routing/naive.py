@@ -1,0 +1,70 @@
+"""Baseline: naive direct routing with per-edge queueing.
+
+Every source sends each message straight to its destination, one per edge
+per round.  The round count equals the maximum, over ordered node pairs, of
+the number of messages on that pair — up to ``n`` rounds on the hotspot
+(permutation) instance, versus the deterministic algorithm's constant 16.
+This is benchmark E8's counterpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List
+
+from ..core.context import NodeContext
+from ..core.message import Packet
+from ..core.network import CongestedClique, RunResult
+from .lenzen import _unwire, _wire, header_base
+from .problem import Message, RoutingInstance
+
+
+def naive_program(
+    instance: RoutingInstance,
+) -> Callable[[NodeContext], Generator]:
+    """Direct-send program; runs until every queue drains.
+
+    Termination is coordinated without global knowledge: each node knows its
+    own longest queue and the instance-wide bound ``n`` is not assumed;
+    instead every node keeps participating while it still has traffic, and a
+    1-word "rounds left" piggyback is unnecessary because the engine lets
+    nodes finish independently (a finished node just stops yielding).
+    """
+    n = instance.n
+    hbase = header_base(n, instance.max_load)
+
+    def program(ctx: NodeContext) -> Generator:
+        me = ctx.node_id
+        queues: Dict[int, List] = {}
+        expected = 0
+        for m in instance.messages_by_source[me]:
+            queues.setdefault(m.dest, []).append(_wire(m, hbase))
+        for msgs in instance.messages_by_source:
+            expected += sum(1 for m in msgs if m.dest == me)
+        for q in queues.values():
+            q.sort()
+
+        got: List[Message] = []
+        while queues or len(got) < expected:
+            outbox = {}
+            for dest in list(queues):
+                outbox[dest] = Packet(queues[dest].pop(0))
+                if not queues[dest]:
+                    del queues[dest]
+            inbox = yield outbox
+            for pkt in inbox.values():
+                got.append(_unwire(pkt.words, hbase))
+        return sorted(got)
+
+    return program
+
+
+def route_naive(instance: RoutingInstance, capacity: int = 8) -> RunResult:
+    """Run the naive baseline; rounds = max per-edge demand."""
+    clique = CongestedClique(instance.n, capacity=capacity)
+    return clique.run(naive_program(instance))
+
+
+def naive_round_bound(instance: RoutingInstance) -> int:
+    """Closed form for the baseline's round count: max messages per edge."""
+    demand = instance.demand_matrix()
+    return max((max(row) for row in demand if row), default=0)

@@ -1,0 +1,53 @@
+"""Sorting on the congested clique (paper Section 4 + baselines)."""
+
+from .lenzen_sort import ROUNDS_SORT, lenzen_sort_program, sort_lenzen
+from .problem import (
+    KeyCodec,
+    SortInstance,
+    duplicate_heavy_instance,
+    presorted_instance,
+    reversed_instance,
+    uniform_sort_instance,
+    verify_indices,
+    verify_sorted_batches,
+)
+from .subset_sort import SubsetSortResult, subset_sort
+
+__all__ = [
+    "SortInstance",
+    "KeyCodec",
+    "uniform_sort_instance",
+    "duplicate_heavy_instance",
+    "presorted_instance",
+    "reversed_instance",
+    "verify_sorted_batches",
+    "verify_indices",
+    "subset_sort",
+    "SubsetSortResult",
+    "sort_lenzen",
+    "lenzen_sort_program",
+    "ROUNDS_SORT",
+]
+
+from .baseline import sample_sort, sample_sort_program
+from .indexing import ROUNDS_INDEXING, index_keys, indexing_program
+from .selection import (
+    ROUNDS_MODE,
+    ROUNDS_SELECTION,
+    median,
+    mode,
+    select_kth,
+)
+
+__all__ += [
+    "sample_sort",
+    "sample_sort_program",
+    "index_keys",
+    "indexing_program",
+    "ROUNDS_INDEXING",
+    "select_kth",
+    "median",
+    "mode",
+    "ROUNDS_SELECTION",
+    "ROUNDS_MODE",
+]

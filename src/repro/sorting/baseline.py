@@ -1,0 +1,152 @@
+"""Baseline: randomized sample sort (stand-in for Patt-Shamir & Teplitsky).
+
+The paper cites a randomized constant-round sorting algorithm [12] and notes
+randomized solutions are "about 2 times as fast".  This baseline captures
+that shape:
+
+1. every node broadcasts one random sample key (1 round); the sorted pool of
+   ``n`` samples yields ``sqrt(n)-1`` splitters known to everyone;
+2. every key is sent directly to a uniformly random member of its bucket's
+   group, queues draining with up to ``KEYS_PER_PACKET`` keys per packet and
+   a piggybacked remaining-work counter for global termination (a few
+   rounds w.h.p. — randomized balance instead of deterministic coloring);
+3. each group sorts its bucket with the deterministic subset sort (8
+   rounds), piggybacking final counts;
+4. a 2-round Corollary 3.3 exchange rebalances to exact batches.
+
+Total: typically ~17-19 rounds versus the deterministic 37 — matching the
+paper's remark — but only with high probability: an unlucky sample skews the
+buckets and the round count grows.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Callable, Dict, Generator, List, Tuple
+
+from ..core.context import NodeContext
+from ..core.errors import ProtocolError
+from ..core.message import Packet
+from ..core.network import CongestedClique, RunResult
+from ..core.protocol import attach_piggyback, strip_piggyback
+from ..core.topology import square_partition
+from ..routing.primitives import route_known
+from .lenzen_sort import SORT_CAPACITY, _global_overlap_demand
+from .problem import SortInstance
+from .subset_sort import KEYS_PER_ITEM, _announce_sentinel, subset_sort
+
+KEYS_PER_PACKET = 6
+
+
+def sample_sort_program(
+    instance: SortInstance, seed: int = 0
+) -> Callable[[NodeContext], Generator]:
+    """Randomized sample sort; see module docstring."""
+    n = instance.n
+    part = square_partition(n)
+    s = part.group_size
+    groups = tuple(tuple(part.members(g)) for g in part.groups())
+    tagged = instance.tagged_by_node()
+
+    def program(ctx: NodeContext) -> Generator:
+        me = ctx.node_id
+        g = part.group_of(me)
+        r = part.rank_in_group(me)
+        rng = random.Random((seed << 20) | me)
+        keys = list(tagged[me])
+        sentinel = _announce_sentinel(ctx)
+
+        # ---- 1 round: broadcast one random sample. -------------------------
+        ctx.enter_phase("ssort.sample")
+        sample = rng.choice(keys) if keys else sentinel
+        inbox = yield {dst: Packet((sample,)) for dst in range(n)}
+        pool = sorted(p.words[0] for p in inbox.values())
+        splitters = pool[s - 1 :: s][: s - 1]
+        splitters.extend([sentinel] * (s - 1 - len(splitters)))
+
+        # ---- randomized scatter: each key to a random member of its
+        # bucket's group; queues drain with global piggyback termination. ---
+        ctx.enter_phase("ssort.scatter")
+        queues: Dict[int, List[int]] = {}
+        for k in keys:
+            j = bisect.bisect_left(splitters, k)
+            dest = part.member(j, rng.randrange(s))
+            queues.setdefault(dest, []).append(k)
+        bucket_keys: List[int] = []
+        while True:
+            outbox = {}
+            sent = 0
+            for dest in list(queues):
+                chunk = queues[dest][:KEYS_PER_PACKET]
+                del queues[dest][:KEYS_PER_PACKET]
+                outbox[dest] = Packet(tuple(chunk))
+                sent += len(chunk)
+                if not queues[dest]:
+                    del queues[dest]
+            remaining = sent + sum(len(q) for q in queues.values())
+            inbox = yield attach_piggyback(outbox, remaining, n)
+            payloads, reports = strip_piggyback(inbox)
+            for src in sorted(payloads):
+                bucket_keys.extend(payloads[src].words)
+            if sum(reports.values()) == 0:
+                break
+
+        # ---- 8 rounds: deterministic subset sort inside each group. --------
+        ctx.enter_phase("ssort.bucket")
+        res = yield from subset_sort(
+            ctx,
+            groups,
+            g,
+            r,
+            bucket_keys,
+            k_max=4 * n,
+            pattern_key="ssort",
+            redistribute=False,
+            piggyback_my_count=True,
+        )
+        assert res is not None
+        all_counts = tuple(res.piggyback_counts.get(v, 0) for v in range(n))
+
+        # ---- 2 rounds: exact-batch rebalance (Corollary 3.3). --------------
+        ctx.enter_phase("ssort.redist")
+        offsets = [0] * (n + 1)
+        for v in range(n):
+            offsets[v + 1] = offsets[v] + all_counts[v]
+        total = offsets[n]
+        base, extra = divmod(total, n)
+        t_bounds = [0] * (n + 1)
+        for v in range(n):
+            t_bounds[v + 1] = t_bounds[v] + base + (1 if v < extra else 0)
+        demand, my_items = _global_overlap_demand(
+            offsets, t_bounds, res.run, me, n, sentinel
+        )
+        received = yield from route_known(
+            ctx,
+            (tuple(range(n)),),
+            0,
+            me,
+            my_items,
+            demand,
+            ("ssort.rd", all_counts),
+            item_width=KEYS_PER_ITEM,
+        )
+        batch = sorted(
+            k for item in received for k in item if k != sentinel
+        )
+        want = t_bounds[me + 1] - t_bounds[me]
+        if len(batch) != want:
+            raise ProtocolError(
+                f"sample sort batch {len(batch)} != target {want}"
+            )
+        return batch
+
+    return program
+
+
+def sample_sort(
+    instance: SortInstance, seed: int = 0
+) -> RunResult:
+    """Run the randomized sample-sort baseline (reproducible via seed)."""
+    clique = CongestedClique(instance.n, capacity=SORT_CAPACITY)
+    return clique.run(sample_sort_program(instance, seed=seed))

@@ -1,0 +1,132 @@
+"""Corollary 4.6: each node learns its input keys' indices in the
+*deduplicated* global order, in constant rounds.
+
+After Algorithm 4 each node holds one contiguous run of the sorted key
+sequence.  As the paper prescribes, every node then announces (i) its
+smallest and largest *raw* key, (ii) the number of copies of each it holds,
+and (iii) the number of distinct raw keys it holds — one broadcast round.
+From these 5 words everyone computes, for every node ``v``, the number of
+distinct keys preceding ``v``'s run and whether ``v``'s first key continues
+the previous run's last key; that pins down the deduplicated index of every
+key each node holds.  Finally Theorem 3.7 routes each (key, index) fact back
+to the node whose input contained the key.
+
+Round budget: 37 (Algorithm 4) + 1 (announce) + 16 (routing) = 54, a
+constant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Tuple
+
+from ..core.context import NodeContext
+from ..core.errors import ProtocolError
+from ..core.message import Packet, pack_pair, unpack_pair
+from ..core.network import CongestedClique, RunResult
+from ..routing.lenzen import _wire, header_base, lenzen_wire_program
+from ..routing.problem import Message
+from .lenzen_sort import SORT_CAPACITY, lenzen_sort_program
+from .problem import SortInstance
+
+#: Round budget: Algorithm 4 + announce + Theorem 3.7 report-back.
+ROUNDS_INDEXING = 37 + 1 + 16
+
+
+def indexing_program(
+    instance: SortInstance,
+) -> Callable[[NodeContext], Generator]:
+    """Program: sort, announce run boundaries, report dedup indices back."""
+    n = instance.n
+    codec = instance.codec
+    sort_program = lenzen_sort_program(instance)
+    hbase = header_base(n, n)
+    # Report-back wire table: one slot per node, filled by its own program.
+    report_table: List[List] = [[] for _ in range(n)]
+
+    def program(ctx: NodeContext) -> Generator:
+        me = ctx.node_id
+        batch: List[int] = yield from sort_program(ctx)
+
+        # ---- announce round: (min_raw, cnt_min, max_raw, cnt_max, distinct)
+        ctx.enter_phase("cor46.announce")
+        raws = [codec.raw(t) for t in batch]
+        distinct_here = len(set(raws))
+        if raws:
+            mn, mx = raws[0], raws[-1]
+            cmin = sum(1 for r in raws if r == mn)
+            cmax = sum(1 for r in raws if r == mx)
+            words = (1, mn, cmin, mx, cmax, distinct_here)
+        else:
+            words = (0, 0, 0, 0, 0, 0)
+        inbox = yield {dst: Packet(words) for dst in range(n)}
+        ann: Dict[int, Tuple[int, ...]] = {
+            src: tuple(pkt.words) for src, pkt in inbox.items()
+        }
+        if len(ann) != n:
+            raise ProtocolError("missing boundary announcements")
+
+        # ---- local: distinct keys before each node's run. -----------------
+        # dist_prefix[v] = #distinct raw keys in runs 0..v-1;
+        # overlap[v] = 1 iff run v starts with the same raw key run v-1
+        # ended with (then that key was already counted).
+        dist_prefix = [0] * (n + 1)
+        overlap = [0] * n
+        prev_max = None
+        for v in range(n):
+            has, mn, _cmin, mx, _cmax, dd = ann[v]
+            if not has:
+                dist_prefix[v + 1] = dist_prefix[v]
+                continue
+            overlap[v] = 1 if prev_max is not None and mn == prev_max else 0
+            dist_prefix[v + 1] = dist_prefix[v] + dd - overlap[v]
+            prev_max = mx
+
+        # my key's dedup index = dist_prefix[me] - overlap[me] + local rank.
+        local_rank: Dict[int, int] = {}
+        rank = -1
+        last = None
+        for r in raws:
+            if r != last:
+                rank += 1
+                last = r
+            local_rank[r] = rank
+        index_of = {
+            r: dist_prefix[me] - overlap[me] + local_rank[r]
+            for r in set(raws)
+        }
+
+        # ---- report back via Theorem 3.7 (16 rounds). ---------------------
+        # For each held tagged key, send (seq, index) to the key's source.
+        ctx.enter_phase("cor46.report")
+        wire_msgs = []
+        for i, t in enumerate(batch):
+            raw, source, seq = codec.untag(t)
+            payload = pack_pair(seq, index_of[raw], max(n * n, 2))
+            wire_msgs.append(
+                _wire(Message(me, source, i, payload), hbase)
+            )
+        report_table[me] = sorted(wire_msgs)
+        router = lenzen_wire_program(
+            n, report_table, load_bound=n, strict=False
+        )
+        delivered = yield from router(ctx)
+
+        result: Dict[Tuple[int, int], int] = {}
+        my_keys = instance.keys_by_node[me]
+        for msg in delivered:
+            seq, idx = unpack_pair(msg.payload, max(n * n, 2))
+            result[(my_keys[seq], seq)] = idx
+        if len(result) != len(my_keys):
+            raise ProtocolError(
+                f"node {me} got {len(result)} index reports for "
+                f"{len(my_keys)} keys"
+            )
+        return result
+
+    return program
+
+
+def index_keys(instance: SortInstance, **kwargs) -> RunResult:
+    """Run the Corollary 4.6 variant; outputs map (key, seq) -> dedup index."""
+    clique = CongestedClique(instance.n, capacity=SORT_CAPACITY, **kwargs)
+    return clique.run(indexing_program(instance))

@@ -1,0 +1,135 @@
+"""Selection, median and mode in constant rounds (corollaries of sorting).
+
+The paper notes that constant-round sorting "implies constant-round
+solutions for related problems like selection or determining modes"
+(Corollary 4.6's closing remark).  Concretely:
+
+* **selection(k)** — run Algorithm 4; the holder of global rank ``k``
+  broadcasts the key: 37 + 1 rounds.
+* **median** — selection with ``k = total // 2``.
+* **mode** — run Algorithm 4; every node announces its run boundaries (as in
+  Corollary 4.6) *plus* its best strictly-interior candidate.  A raw key is
+  either interior to one node's run (its count is complete there) or appears
+  only as run boundaries (its total is the sum of announced boundary
+  counts), so one broadcast round decides the mode: 37 + 1 rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Tuple
+
+from ..core.context import NodeContext
+from ..core.errors import ProtocolError
+from ..core.message import Packet
+from ..core.network import CongestedClique, RunResult
+from .lenzen_sort import SORT_CAPACITY, lenzen_sort_program
+from .problem import SortInstance
+
+ROUNDS_SELECTION = 37 + 1
+ROUNDS_MODE = 37 + 1
+
+
+def selection_program(
+    instance: SortInstance, k: int
+) -> Callable[[NodeContext], Generator]:
+    """Every node learns the raw key of global rank ``k`` (0-based, in the
+    tagged total order — equivalently the multiset order of raw keys)."""
+    n = instance.n
+    total = instance.total_keys()
+    if not 0 <= k < total:
+        raise ValueError(f"rank {k} outside [0, {total})")
+    codec = instance.codec
+    sort_program = lenzen_sort_program(instance)
+
+    def program(ctx: NodeContext) -> Generator:
+        batch: List[int] = yield from sort_program(ctx)
+        ctx.enter_phase("selection.announce")
+        # Batch sizes are the even split of Algorithm 4 Step 8.
+        base, extra = divmod(total, n)
+        lo = ctx.node_id * base + min(ctx.node_id, extra)
+        outbox = {}
+        if lo <= k < lo + len(batch):
+            key = codec.raw(batch[k - lo])
+            outbox = {dst: Packet((key,)) for dst in range(n)}
+        inbox = yield outbox
+        if len(inbox) != 1:
+            raise ProtocolError(
+                f"selection: expected one announcement, got {len(inbox)}"
+            )
+        return next(iter(inbox.values())).words[0]
+
+    return program
+
+
+def select_kth(instance: SortInstance, k: int, **kwargs) -> RunResult:
+    """Constant-round selection of the rank-``k`` key."""
+    clique = CongestedClique(instance.n, capacity=SORT_CAPACITY, **kwargs)
+    return clique.run(selection_program(instance, k))
+
+
+def median(instance: SortInstance, **kwargs) -> RunResult:
+    """Constant-round median (lower median for even totals)."""
+    return select_kth(instance, instance.total_keys() // 2, **kwargs)
+
+
+def mode_program(
+    instance: SortInstance,
+) -> Callable[[NodeContext], Generator]:
+    """Every node learns the mode (most frequent raw key; smallest wins
+    ties) of the union of all inputs."""
+    n = instance.n
+    codec = instance.codec
+    sort_program = lenzen_sort_program(instance)
+
+    def program(ctx: NodeContext) -> Generator:
+        batch: List[int] = yield from sort_program(ctx)
+        ctx.enter_phase("mode.announce")
+        raws = [codec.raw(t) for t in batch]
+        if raws:
+            mn, mx = raws[0], raws[-1]
+            cmin = sum(1 for r in raws if r == mn)
+            cmax = sum(1 for r in raws if r == mx)
+            # Best interior candidate: complete counts by construction.
+            best_key, best_cnt = 0, 0
+            cur_key, cur_cnt = None, 0
+            for r in raws:
+                if r == mn or r == mx:
+                    continue
+                if r == cur_key:
+                    cur_cnt += 1
+                else:
+                    cur_key, cur_cnt = r, 1
+                if cur_cnt > best_cnt or (
+                    cur_cnt == best_cnt and cur_key < best_key
+                ):
+                    best_key, best_cnt = cur_key, cur_cnt
+            words = (1, mn, cmin, mx, cmax, best_key, best_cnt)
+        else:
+            words = (0, 0, 0, 0, 0, 0, 0)
+        inbox = yield {dst: Packet(words) for dst in range(n)}
+
+        boundary: Dict[int, int] = {}
+        best_key, best_cnt = 0, 0
+        for src in sorted(inbox):
+            has, mn, cmin, mx, cmax, bkey, bcnt = inbox[src].words
+            if not has:
+                continue
+            if mn == mx:
+                boundary[mn] = boundary.get(mn, 0) + cmin
+            else:
+                boundary[mn] = boundary.get(mn, 0) + cmin
+                boundary[mx] = boundary.get(mx, 0) + cmax
+            if bcnt > best_cnt or (bcnt == best_cnt and bkey < best_key):
+                best_key, best_cnt = bkey, bcnt
+        for key, cnt in boundary.items():
+            if cnt > best_cnt or (cnt == best_cnt and key < best_key):
+                best_key, best_cnt = key, cnt
+        return (best_key, best_cnt)
+
+    return program
+
+
+def mode(instance: SortInstance, **kwargs) -> RunResult:
+    """Constant-round mode; outputs are (key, multiplicity) at every node."""
+    clique = CongestedClique(instance.n, capacity=SORT_CAPACITY, **kwargs)
+    return clique.run(mode_program(instance))

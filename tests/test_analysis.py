@@ -1,0 +1,40 @@
+"""Bounds table and report rendering."""
+
+from repro.analysis import (
+    ROUTING_PHASES,
+    SORTING_PHASES,
+    check_bound,
+    naive_routing_rounds,
+    render_table,
+    subset_sort_bucket_bound,
+)
+
+
+def test_phase_tables_sum_to_totals():
+    assert sum(ROUTING_PHASES.values()) == 16
+    assert sum(SORTING_PHASES.values()) == 37
+
+
+def test_bucket_bound_matches_paper_constants():
+    # (w, k_max) = (sqrt(n), 2n) gives the paper's < 4n (up to the +w slack
+    # from open-ended buckets).
+    n = 100
+    bound = subset_sort_bucket_bound(2 * n, 10)
+    assert bound == 2 * n + 20 * 10 + 10  # k_max + s*w + w = 4n + w
+
+
+def test_naive_bound_identity():
+    assert naive_routing_rounds(7) == 7
+
+
+def test_render_table():
+    text = render_table("T", ["a", "bb"], [[1, 22], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_check_bound_verdicts():
+    assert "[OK]" in check_bound(10, 16, "x")
+    assert "[EXCEEDED]" in check_bound(17, 16, "x")

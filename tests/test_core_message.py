@@ -1,0 +1,83 @@
+"""Unit tests for the packet/word model."""
+
+import pytest
+
+from repro.core import (
+    CapacityExceeded,
+    Packet,
+    WordSizeViolation,
+    bundle,
+    pack_pair,
+    pack_triple,
+    packet,
+    unbundle,
+    unpack_pair,
+    unpack_triple,
+    validate_packet,
+)
+
+
+def test_packet_basics():
+    p = packet(1, 2, 3)
+    assert len(p) == 3
+    assert list(p) == [1, 2, 3]
+    assert p[1] == 2
+
+
+def test_packet_coerces_list():
+    p = Packet([4, 5])  # type: ignore[arg-type]
+    assert p.words == (4, 5)
+
+
+def test_validate_rejects_oversize():
+    with pytest.raises(CapacityExceeded):
+        validate_packet(packet(*range(9)), n=16, capacity=8)
+
+
+def test_validate_rejects_huge_word():
+    with pytest.raises(WordSizeViolation):
+        validate_packet(packet(16 ** 13), n=16, capacity=8)
+
+
+def test_validate_rejects_bool_and_float():
+    with pytest.raises(WordSizeViolation):
+        validate_packet(Packet((True,)), n=16, capacity=8)
+    with pytest.raises(WordSizeViolation):
+        validate_packet(Packet((1.5,)), n=16, capacity=8)  # type: ignore
+
+
+def test_validate_accepts_polynomial_words():
+    validate_packet(packet(16 ** 11, -5, 0), n=16, capacity=8)
+
+
+def test_pack_pair_roundtrip():
+    for a in (0, 3, 15):
+        for b in (0, 7, 15):
+            assert unpack_pair(pack_pair(a, b, 16), 16) == (a, b)
+
+
+def test_pack_pair_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        pack_pair(16, 0, 16)
+
+
+def test_pack_triple_roundtrip():
+    for t in [(0, 0, 0), (3, 9, 15), (15, 15, 15)]:
+        assert unpack_triple(pack_triple(*t, 16), 16) == t
+
+
+def test_pack_triple_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        pack_triple(0, 16, 0, 16)
+
+
+def test_bundle_unbundle_roundtrip():
+    values = list(range(10))
+    packets = bundle(values, 3)
+    assert [len(p) for p in packets] == [3, 3, 3, 1]
+    assert unbundle(packets) == values
+
+
+def test_bundle_rejects_zero_width():
+    with pytest.raises(ValueError):
+        bundle([1], 0)

@@ -1,0 +1,162 @@
+"""Engine semantics: lockstep rounds, audits, phases, piggyback."""
+
+import pytest
+
+from repro.core import (
+    CongestedClique,
+    EdgeConflict,
+    ModelViolation,
+    ProtocolError,
+    attach_piggyback,
+    idle,
+    merge_outboxes,
+    packet,
+    run_protocol,
+    strip_piggyback,
+)
+
+
+def test_single_round_exchange():
+    def prog(ctx):
+        inbox = yield {(ctx.node_id + 1) % ctx.n: packet(ctx.node_id)}
+        return sorted(inbox)
+
+    res = run_protocol(4, prog)
+    assert res.rounds == 1
+    assert res.outputs == [[3], [0], [1], [2]]
+
+
+def test_self_send_allowed():
+    def prog(ctx):
+        inbox = yield {ctx.node_id: packet(99)}
+        return inbox[ctx.node_id].words[0]
+
+    res = run_protocol(3, prog)
+    assert res.outputs == [99, 99, 99]
+
+
+def test_invalid_destination_rejected():
+    def prog(ctx):
+        yield {ctx.n + 5: packet(1)}
+
+    with pytest.raises(ModelViolation):
+        run_protocol(3, prog)
+
+
+def test_non_dict_outbox_rejected():
+    def prog(ctx):
+        yield [1, 2]
+
+    with pytest.raises(ModelViolation):
+        run_protocol(2, prog)
+
+
+def test_max_rounds_guard():
+    def prog(ctx):
+        while True:
+            yield {}
+
+    with pytest.raises(ProtocolError):
+        CongestedClique(2, max_rounds=5).run(prog)
+
+
+def test_packet_to_finished_node_rejected():
+    def prog(ctx):
+        if ctx.node_id == 0:
+            return "done"
+        yield {}
+        yield {0: packet(1)}
+        return "late"
+
+    with pytest.raises(ProtocolError):
+        run_protocol(2, prog)
+
+
+def test_phase_attribution():
+    def prog(ctx):
+        ctx.enter_phase("a")
+        yield {}
+        yield {}
+        ctx.enter_phase("b")
+        yield {}
+        return None
+
+    res = run_protocol(3, prog)
+    assert res.phase_table() == {"a": 2, "b": 1}
+
+
+def test_stats_count_words():
+    def prog(ctx):
+        yield {(ctx.node_id + 1) % ctx.n: packet(1, 2, 3)}
+        return None
+
+    res = run_protocol(4, prog)
+    assert res.stats.total_packets == 4
+    assert res.stats.total_words == 12
+
+
+def test_meter_collection():
+    def prog(ctx):
+        ctx.charge(7)
+        ctx.observe_live_words(42)
+        yield {}
+        return None
+
+    res = run_protocol(3, prog, meter=True)
+    assert res.meters.max_steps == 7
+    assert res.meters.max_peak_words == 42
+
+
+def test_shared_cache_verify_mode_catches_nondeterminism():
+    state = {"calls": 0}
+
+    def prog(ctx):
+        def impure():
+            state["calls"] += 1
+            return state["calls"]  # different per evaluation
+
+        ctx.shared_compute("k", impure)
+        yield {}
+        return None
+
+    with pytest.raises(ProtocolError):
+        run_protocol(3, prog, verify_shared=True)
+
+
+def test_piggyback_roundtrip():
+    def prog(ctx):
+        out = {}
+        if ctx.node_id == 0:
+            out = {1: packet(5, 6)}
+        inbox = yield attach_piggyback(out, 100 + ctx.node_id, ctx.n)
+        clean, words = strip_piggyback(inbox)
+        return (sorted(words.values()), {
+            src: tuple(p.words) for src, p in clean.items()
+        })
+
+    res = run_protocol(3, prog)
+    for node, (words, clean) in enumerate(res.outputs):
+        assert words == [100, 101, 102]
+        if node == 1:
+            assert clean == {0: (5, 6)}
+        else:
+            assert clean == {}
+
+
+def test_merge_outboxes_detects_conflicts():
+    with pytest.raises(EdgeConflict):
+        merge_outboxes([{1: packet(1)}, {1: packet(2)}])
+    merged = merge_outboxes([{1: packet(1)}, {2: packet(2)}])
+    assert set(merged) == {1, 2}
+
+
+def test_idle_raises_on_unexpected_packet():
+    def prog(ctx):
+        if ctx.node_id == 0:
+            yield {1: packet(1)}
+        else:
+            yield from idle(1)
+        return None
+
+    with pytest.raises(EdgeConflict):
+        run_protocol(2, prog)

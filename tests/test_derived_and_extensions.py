@@ -1,0 +1,160 @@
+"""Corollary 4.6, selection/median/mode, and Section 6 extensions."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core import InvalidInstance
+from repro.extensions import (
+    ROUNDS_SMALL_KEYS,
+    SmallKeyLayout,
+    WideMessage,
+    route_wide_messages,
+    sort_small_keys,
+)
+from repro.routing import uniform_instance
+from repro.sorting import (
+    ROUNDS_INDEXING,
+    duplicate_heavy_instance,
+    index_keys,
+    median,
+    mode,
+    select_kth,
+    uniform_sort_instance,
+    verify_indices,
+)
+
+
+# ----------------------------------------------------- Corollary 4.6 ----
+def test_indexing_rounds_and_correctness():
+    inst = duplicate_heavy_instance(16, distinct=5, seed=2)
+    res = index_keys(inst)
+    verify_indices(inst, res.outputs)
+    assert res.rounds == ROUNDS_INDEXING
+
+
+def test_indexing_distinct_keys():
+    inst = uniform_sort_instance(16, seed=9)
+    res = index_keys(inst)
+    verify_indices(inst, res.outputs)
+
+
+def test_indexing_single_value():
+    from repro.sorting import SortInstance
+
+    inst = SortInstance(9, [[2] * 9 for _ in range(9)], key_universe=4)
+    res = index_keys(inst)
+    verify_indices(inst, res.outputs)  # every key has dedup index 0
+
+
+# ------------------------------------------------- selection / mode ----
+def test_selection_all_ranks_sampled():
+    inst = uniform_sort_instance(9, seed=4)
+    ordered = sorted(k for ks in inst.keys_by_node for k in ks)
+    for k in (0, 40, 80):
+        res = select_kth(inst, k)
+        assert all(o == ordered[k] for o in res.outputs)
+
+
+def test_selection_rejects_bad_rank():
+    inst = uniform_sort_instance(9, seed=4)
+    with pytest.raises(ValueError):
+        select_kth(inst, 81)
+
+
+def test_median():
+    inst = uniform_sort_instance(9, seed=6)
+    ordered = sorted(k for ks in inst.keys_by_node for k in ks)
+    res = median(inst)
+    assert all(o == ordered[len(ordered) // 2] for o in res.outputs)
+
+
+def test_mode_duplicates():
+    inst = duplicate_heavy_instance(16, distinct=4, seed=7)
+    counts = Counter(k for ks in inst.keys_by_node for k in ks)
+    best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+    res = mode(inst)
+    assert all(o == best for o in res.outputs)
+
+
+# ------------------------------------------------------ Section 6.3 ----
+def test_small_keys_two_rounds_and_counts():
+    import random
+
+    n, K, maxc = 100, 4, 7
+    rng = random.Random(1)
+    counts = [[rng.randint(0, maxc) for _ in range(K)] for _ in range(n)]
+    res = sort_small_keys(n, counts, K, maxc)
+    assert res.rounds == ROUNDS_SMALL_KEYS
+    totals = [sum(counts[v][k] for v in range(n)) for k in range(K)]
+    for v in range(n):
+        assert res.outputs[v]["totals"] == totals
+
+
+def test_small_keys_ranks_form_permutation():
+    import random
+
+    n, K, maxc = 64, 2, 3
+    rng = random.Random(2)
+    counts = [[rng.randint(0, maxc) for _ in range(K)] for _ in range(n)]
+    res = sort_small_keys(n, counts, K, maxc)
+    ranks = []
+    for v in range(n):
+        for k, rr in res.outputs[v]["ranks"].items():
+            ranks.extend((r, k, v) for r in rr)
+    ranks.sort()
+    assert [r for r, _, _ in ranks] == list(range(len(ranks)))
+    # ordered by key first, then node id
+    assert [k for _, k, _ in ranks] == sorted(k for _, k, _ in ranks)
+
+
+def test_small_keys_layout_guard():
+    with pytest.raises(InvalidInstance):
+        SmallKeyLayout(n=10, num_keys=4, max_count=7)
+
+
+def test_small_keys_layout_roundtrip():
+    layout = SmallKeyLayout(n=100, num_keys=3, max_count=7)
+    for key in range(3):
+        for bit in range(layout.count_bits):
+            for copy in range(layout.sum_bits):
+                node = layout.handler(key, bit, copy)
+                assert layout.decode(node) == (key, bit, copy)
+    assert layout.decode(99) is None
+
+
+# ------------------------------------------------------ Section 6.1 ----
+@pytest.mark.parametrize("sequential", [False, True])
+def test_wide_messages(sequential):
+    n = 9
+    base = uniform_instance(n, seed=8)
+    wide = [
+        [
+            WideMessage(m.source, m.dest, m.seq, [m.payload, 7, m.seq])
+            for m in row
+        ]
+        for row in base.messages_by_source
+    ]
+    out, rounds = route_wide_messages(n, wide, 3, sequential=sequential)
+    if sequential:
+        assert rounds == 3 * 16
+    else:
+        assert rounds == 16
+    for k in range(n):
+        got = sorted((w.source, w.seq, w.payload) for w in out[k])
+        exp = sorted(
+            (m.source, m.seq, (m.payload, 7, m.seq))
+            for row in base.messages_by_source
+            for m in row
+            if m.dest == k
+        )
+        assert got == exp
+
+
+def test_wide_messages_width_mismatch():
+    with pytest.raises(InvalidInstance):
+        route_wide_messages(
+            4,
+            [[WideMessage(0, 1, 0, [1, 2])], [], [], []],
+            payload_words=3,
+        )

@@ -1,0 +1,90 @@
+"""Theorem 3.7's non-square overlay: channel split, cross detour, fallback."""
+
+import pytest
+
+from repro.analysis import ROUTING_ROUNDS
+from repro.routing import (
+    Message,
+    RoutingInstance,
+    permutation_instance,
+    route_lenzen,
+    uniform_instance,
+    verify_delivery,
+)
+from repro.routing.general import ENGINE_CAPACITY, lenzen_general_program
+from repro.core import CongestedClique
+
+
+def test_tiny_n_fallback():
+    for n in (2, 3):
+        inst = uniform_instance(n, seed=n)
+        res = route_lenzen(inst)
+        verify_delivery(inst, res.outputs)
+        assert res.rounds <= ROUTING_ROUNDS
+
+
+@pytest.mark.parametrize("n", [5, 6, 8, 13, 24])
+def test_overlay_sizes(n):
+    inst = uniform_instance(n, seed=n + 1)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS
+
+
+def test_cross_only_traffic():
+    """All traffic between the fringes — the worst case for the detour."""
+    n = 12  # m = 9: low fringe {0,1,2}, high fringe {9,10,11}
+    msgs = [[] for _ in range(n)]
+    # each low-fringe node sends to high-fringe nodes and vice versa;
+    # other nodes route among themselves inside V1.
+    for i in range(3):
+        for j in range(n):
+            msgs[i].append(Message(i, 9 + (i + j) % 3, j, i * n + j))
+            msgs[9 + i].append(Message(9 + i, (i + j) % 3, j, j))
+    for i in range(3, 9):
+        for j in range(n):
+            msgs[i].append(Message(i, 3 + (i + j) % 6, j, j))
+    inst = RoutingInstance(n, msgs, exact=False)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS
+
+
+def test_core_pair_messages_assigned_once():
+    """Messages between core nodes must be delivered exactly once (they are
+    eligible for both windows; the paper deletes them from one)."""
+    n = 12  # core = {3..8}
+    msgs = [[] for _ in range(n)]
+    for i in range(3, 9):
+        for j in range(n):
+            msgs[i].append(Message(i, 3 + (j % 6), j, i * 100 + j))
+    inst = RoutingInstance(n, msgs, exact=False)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+
+
+def test_general_program_direct():
+    inst = permutation_instance(10, shift=7)
+    clique = CongestedClique(10, capacity=ENGINE_CAPACITY)
+    res = clique.run(lenzen_general_program(inst))
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS
+
+
+def test_overlay_relaxed_loads():
+    """Sub-instances see up to n messages per node on m < n nodes — the
+    lanes machinery must absorb the overflow."""
+    n = 8  # m = 4: V1={0..3}, V2={4..7}
+    msgs = [[] for _ in range(n)]
+    # all of V1's traffic stays inside V1: 8 messages per node on a
+    # 4-node window = 2 lanes.
+    for i in range(4):
+        for j in range(n):
+            msgs[i].append(Message(i, j % 4, j, j))
+    for i in range(4, 8):
+        for j in range(n):
+            msgs[i].append(Message(i, 4 + j % 4, j, j))
+    inst = RoutingInstance(n, msgs, exact=False)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS

@@ -1,0 +1,98 @@
+"""Instance generators: balance invariants and reproducibility."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    block_skew_instance,
+    from_demand,
+    permutation_instance,
+    transpose_instance,
+    uniform_instance,
+)
+from repro.sorting import (
+    duplicate_heavy_instance,
+    presorted_instance,
+    reversed_instance,
+    uniform_sort_instance,
+)
+
+
+def _check_balanced(inst):
+    n = inst.n
+    demand = inst.demand_matrix()
+    assert all(sum(row) == n for row in demand)
+    assert all(sum(col) == n for col in zip(*demand))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(2, 20), seed=st.integers(0, 500))
+def test_uniform_instance_always_balanced(n, seed):
+    _check_balanced(uniform_instance(n, seed=seed))
+
+
+def test_uniform_reproducible():
+    a = uniform_instance(10, seed=3)
+    b = uniform_instance(10, seed=3)
+    assert a.messages_by_source == b.messages_by_source
+    c = uniform_instance(10, seed=4)
+    assert a.messages_by_source != c.messages_by_source
+
+
+def test_permutation_instance_hotspot_shape():
+    inst = permutation_instance(8, shift=2)
+    demand = inst.demand_matrix()
+    for i in range(8):
+        assert demand[i][(i + 2) % 8] == 8
+        assert sum(demand[i]) == 8
+
+
+def test_transpose_instance_flat_demand():
+    inst = transpose_instance(6)
+    demand = inst.demand_matrix()
+    assert all(all(c == 1 for c in row) for row in demand)
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(4, 16), seed=st.integers(0, 100))
+def test_block_skew_balanced(n, seed):
+    _check_balanced(block_skew_instance(n, seed=seed))
+
+
+def test_block_skew_is_actually_skewed():
+    inst = block_skew_instance(16, seed=1)
+    demand = inst.demand_matrix()
+    flat = [demand[i][j] for i in range(16) for j in range(16)]
+    assert max(flat) > 2  # heavier than the uniform expectation of 1
+
+
+def test_from_demand_matches():
+    demand = [[2, 1, 0], [1, 1, 1], [0, 1, 2]]
+    inst = from_demand(3, demand, seed=1)
+    assert inst.demand_matrix() == demand
+
+
+def test_sort_instance_generators_shapes():
+    for inst in (
+        uniform_sort_instance(9, seed=0),
+        duplicate_heavy_instance(9, distinct=3, seed=0),
+        presorted_instance(9),
+        reversed_instance(9),
+    ):
+        assert len(inst.keys_by_node) == 9
+        assert all(len(ks) == 9 for ks in inst.keys_by_node)
+
+
+def test_presorted_and_reversed_cover_same_keys():
+    a = presorted_instance(6)
+    b = reversed_instance(6)
+    flat_a = sorted(k for ks in a.keys_by_node for k in ks)
+    flat_b = sorted(k for ks in b.keys_by_node for k in ks)
+    assert flat_a == flat_b == list(range(36))
+
+
+def test_duplicate_heavy_universe():
+    inst = duplicate_heavy_instance(9, distinct=3, seed=2)
+    assert all(
+        0 <= k < 3 for ks in inst.keys_by_node for k in ks
+    )

@@ -1,0 +1,116 @@
+"""Cross-module integration: composed protocols and end-to-end pipelines."""
+
+import random
+
+from repro.analysis import ROUTING_ROUNDS, SORTING_ROUNDS
+from repro.core import run_protocol
+from repro.routing import (
+    Message,
+    RoutingInstance,
+    route_lenzen,
+    uniform_instance,
+    verify_delivery,
+)
+from repro.routing.lenzen import _wire, header_base, lenzen_wire_program
+from repro.sorting import (
+    SortInstance,
+    sort_lenzen,
+    uniform_sort_instance,
+    verify_sorted_batches,
+)
+
+
+def test_route_then_route_composition():
+    """Two full routing instances executed back to back by one protocol —
+    generators compose with plain `yield from`."""
+    n = 16
+    inst_a = uniform_instance(n, seed=1)
+    inst_b = uniform_instance(n, seed=2)
+    base = header_base(n, n)
+    wire_a = [
+        sorted(_wire(m, base) for m in inst_a.messages_by_source[i])
+        for i in range(n)
+    ]
+    wire_b = [
+        sorted(_wire(m, base) for m in inst_b.messages_by_source[i])
+        for i in range(n)
+    ]
+    prog_a = lenzen_wire_program(n, wire_a, n, strict=True)
+    prog_b = lenzen_wire_program(n, wire_b, n, strict=True)
+
+    def prog(ctx):
+        first = yield from prog_a(ctx)
+        second = yield from prog_b(ctx)
+        return (first, second)
+
+    res = run_protocol(n, prog)
+    assert res.rounds == 2 * ROUTING_ROUNDS
+    verify_delivery(inst_a, [o[0] for o in res.outputs])
+    verify_delivery(inst_b, [o[1] for o in res.outputs])
+
+
+def test_sort_uses_exactly_one_router_invocation():
+    """Algorithm 4 embeds Theorem 3.7 once (Step 6): phase audit shows a
+    single 16-round router block inside the 37 rounds."""
+    res = sort_lenzen(uniform_sort_instance(16, seed=4))
+    table = res.phase_table()
+    router_rounds = sum(
+        v
+        for k, v in table.items()
+        if k.startswith("alg2.") or k.startswith("alg1.")
+    )
+    assert router_rounds == ROUTING_ROUNDS
+    assert res.rounds == SORTING_ROUNDS
+
+
+def test_route_messages_carrying_sort_payload():
+    """Routing is payload-agnostic: ship packed key pairs, unpack at the
+    destinations, and check nothing was altered in flight."""
+    n = 9
+    rng = random.Random(3)
+    payloads = {}
+    msgs = [[] for _ in range(n)]
+    for j in range(n):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        for i in range(n):
+            value = rng.randrange(n ** 4)
+            payloads[(i, j)] = value
+            msgs[i].append(Message(i, perm[i], j, value))
+    inst = RoutingInstance(n, msgs)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    for k in range(n):
+        for m in res.outputs[k]:
+            assert m.payload == payloads[(m.source, m.seq)]
+
+
+def test_sorting_instance_roundtrip_through_batches():
+    """Union of output batches == multiset of tagged inputs (no key ever
+    duplicated or lost), even with heavy duplicates."""
+    inst = SortInstance(16, [[7] * 16 for _ in range(16)], key_universe=8)
+    res = sort_lenzen(inst)
+    got = sorted(t for batch in res.outputs for t in batch)
+    assert got == inst.global_sorted_tagged()
+    verify_sorted_batches(inst, res.outputs)
+
+
+def test_full_pipeline_statistics():
+    """The distributed-statistics pipeline end to end on a fresh instance
+    (mirrors examples/distributed_statistics.py)."""
+    from repro.sorting import median, mode, select_kth
+
+    n = 9
+    rng = random.Random(12)
+    samples = [[rng.randrange(30) for _ in range(n)] for _ in range(n)]
+    inst = SortInstance(n, samples, key_universe=30)
+    flat = sorted(s for row in samples for s in row)
+
+    assert median(inst).outputs[0] == flat[len(flat) // 2]
+    assert select_kth(inst, 0).outputs[0] == flat[0]
+    assert select_kth(inst, len(flat) - 1).outputs[0] == flat[-1]
+    from collections import Counter
+
+    counts = Counter(s for row in samples for s in row)
+    best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+    assert mode(inst).outputs[0] == best

@@ -1,0 +1,78 @@
+"""Metrics: round stats, phase spans, operation meters."""
+
+import math
+
+from repro.core.metrics import (
+    MeterReport,
+    OperationMeter,
+    RoundStats,
+    RunStats,
+    collect_meters,
+)
+
+
+def test_round_stats_accumulate():
+    rs = RoundStats(0)
+    rs.record_packet(3)
+    rs.record_packet(5)
+    rs.record_packet(2)
+    assert rs.packets == 3
+    assert rs.words == 10
+    assert rs.max_words_on_edge == 5
+
+
+def test_run_stats_commit():
+    stats = RunStats(n=4)
+    r = stats.begin_round(0)
+    r.record_packet(2)
+    stats.commit_round(r)
+    r = stats.begin_round(1)
+    stats.commit_round(r)
+    assert stats.rounds == 2
+    assert stats.total_packets == 1
+    assert stats.total_words == 2
+    assert len(stats.per_round) == 2
+
+
+def test_meter_charges():
+    m = OperationMeter()
+    m.charge(5)
+    m.charge()
+    assert m.steps == 6
+    m.observe_live_words(10)
+    m.observe_live_words(4)
+    assert m.peak_live_words == 10
+
+
+def test_meter_charge_sort():
+    m = OperationMeter()
+    m.charge_sort(1)
+    assert m.steps == 1
+    m2 = OperationMeter()
+    m2.charge_sort(16)
+    assert m2.steps == int(16 * math.log2(16)) + 16
+
+
+def test_collect_meters_with_none():
+    a = OperationMeter()
+    a.charge(10)
+    a.observe_live_words(7)
+    report = collect_meters([a, None])
+    assert report.steps_per_node == [10, 0]
+    assert report.max_steps == 10
+    assert report.max_peak_words == 7
+
+
+def test_report_normalizations():
+    report = MeterReport(steps_per_node=[160], peak_words_per_node=[32])
+    n = 16
+    assert report.normalized_steps(n) == 160 / (16 * 4)
+    assert report.normalized_words(n) == 2.0
+    tiny = MeterReport([3], [0])
+    assert tiny.normalized_steps(1) == 3.0
+
+
+def test_empty_report():
+    report = collect_meters([])
+    assert report.max_steps == 0
+    assert report.max_peak_words == 0

@@ -1,0 +1,136 @@
+"""Theorem 3.7: the 16-round deterministic router (square and general n)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ROUTING_PHASES, ROUTING_ROUNDS
+from repro.core import InvalidInstance
+from repro.routing import (
+    Message,
+    RoutingInstance,
+    block_skew_instance,
+    permutation_instance,
+    route_lenzen,
+    route_lenzen_square,
+    transpose_instance,
+    uniform_instance,
+    verify_delivery,
+)
+
+
+@pytest.mark.parametrize("n", [4, 9, 16, 25, 36])
+def test_square_rounds_bound(n):
+    inst = uniform_instance(n, seed=n)
+    res = route_lenzen_square(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_ROUNDS
+
+
+def test_phase_decomposition_matches_paper():
+    res = route_lenzen_square(uniform_instance(25, seed=1))
+    assert res.phase_table() == ROUTING_PHASES
+
+
+@pytest.mark.parametrize(
+    "maker", [permutation_instance, transpose_instance, block_skew_instance]
+)
+def test_adversarial_square_instances(maker):
+    inst = maker(16)
+    res = route_lenzen_square(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_ROUNDS
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 7, 10, 12, 20])
+def test_general_n(n):
+    inst = uniform_instance(n, seed=n * 7)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS
+
+
+def test_general_dispatches_square():
+    inst = uniform_instance(9, seed=0)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_ROUNDS
+
+
+def test_hotspot_nonsquare():
+    inst = permutation_instance(11, shift=3)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS
+
+
+def test_relaxed_instance_under_n():
+    msgs = [[] for _ in range(9)]
+    msgs[0] = [Message(0, 8, j, j) for j in range(5)]
+    msgs[3] = [Message(3, 0, 0, 42)]
+    inst = RoutingInstance(9, msgs, exact=False)
+    res = route_lenzen_square(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.outputs[0] == [Message(3, 0, 0, 42)]
+
+
+def test_two_lane_overload():
+    # 2n messages per node via 2n permutations
+    import random
+
+    n = 16
+    rng = random.Random(0)
+    msgs = [[] for _ in range(n)]
+    for j in range(2 * n):
+        perm = list(range(n))
+        rng.shuffle(perm)
+        for i in range(n):
+            msgs[i].append(Message(i, perm[i], j, j))
+    inst = RoutingInstance(n, msgs, exact=False, max_load=2 * n)
+    res = route_lenzen_square(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_ROUNDS
+
+
+def test_instance_validation():
+    with pytest.raises(InvalidInstance):
+        RoutingInstance(4, [[]] * 3)
+    with pytest.raises(InvalidInstance):
+        RoutingInstance(2, [[Message(0, 0, 0)], []])  # not exact
+    with pytest.raises(InvalidInstance):
+        RoutingInstance(
+            2,
+            [
+                [Message(0, 0, 0), Message(0, 0, 1), Message(0, 1, 2)],
+                [Message(1, 1, 0), Message(1, 1, 1)],
+            ],
+            exact=False,
+        )  # source 0 exceeds cap
+    with pytest.raises(InvalidInstance):
+        RoutingInstance(2, [[Message(1, 0, 0)], []], exact=False)  # wrong src
+
+
+def test_shared_cache_determinism_audit():
+    # verify_shared recomputes every shared pattern; agreement proves the
+    # colorings are pure functions of common knowledge.
+    inst = uniform_instance(16, seed=2)
+    res = route_lenzen_square(inst, verify_shared=True)
+    verify_delivery(inst, res.outputs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_random_square_instances_property(seed):
+    inst = uniform_instance(16, seed=seed)
+    res = route_lenzen_square(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_ROUNDS
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(4, 14), seed=st.integers(0, 1000))
+def test_random_general_instances_property(n, seed):
+    inst = uniform_instance(n, seed=seed)
+    res = route_lenzen(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds <= ROUTING_ROUNDS

@@ -1,0 +1,102 @@
+"""Baselines (naive, Valiant) and the Section 5 optimized router."""
+
+import pytest
+
+from repro.analysis import ROUTING_OPTIMIZED_ROUNDS, ROUTING_ROUNDS
+from repro.routing import (
+    block_skew_instance,
+    naive_round_bound,
+    permutation_instance,
+    route_naive,
+    route_optimized,
+    route_valiant,
+    transpose_instance,
+    uniform_instance,
+    verify_delivery,
+)
+
+
+def test_naive_delivers_and_matches_bound():
+    inst = uniform_instance(16, seed=4)
+    res = route_naive(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == naive_round_bound(inst)
+
+
+def test_naive_hotspot_needs_n_rounds():
+    n = 16
+    inst = permutation_instance(n)
+    res = route_naive(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == n  # linear in n — the motivation for the paper
+
+
+def test_naive_transpose_one_round():
+    inst = transpose_instance(9)
+    res = route_naive(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == 1
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_valiant_delivers(seed):
+    inst = uniform_instance(16, seed=seed)
+    res = route_valiant(inst, seed=seed)
+    verify_delivery(inst, res.outputs)
+    # constant-ish w.h.p.; generous guard against regressions
+    assert res.rounds <= 20
+
+
+def test_valiant_reproducible():
+    inst = uniform_instance(16, seed=3)
+    r1 = route_valiant(inst, seed=9)
+    r2 = route_valiant(inst, seed=9)
+    assert r1.rounds == r2.rounds
+    assert r1.outputs == r2.outputs
+
+
+def test_valiant_beats_naive_on_hotspot():
+    inst = permutation_instance(25)
+    naive = route_naive(inst)
+    valiant = route_valiant(inst, seed=1)
+    verify_delivery(inst, valiant.outputs)
+    assert valiant.rounds < naive.rounds
+
+
+@pytest.mark.parametrize("n", [16, 25, 36])
+def test_optimized_twelve_rounds(n):
+    inst = uniform_instance(n, seed=n)
+    res = route_optimized(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_OPTIMIZED_ROUNDS
+    assert res.rounds < ROUTING_ROUNDS
+
+
+@pytest.mark.parametrize(
+    "maker", [permutation_instance, transpose_instance, block_skew_instance]
+)
+def test_optimized_adversarial(maker):
+    inst = maker(25)
+    res = route_optimized(inst)
+    verify_delivery(inst, res.outputs)
+    assert res.rounds == ROUTING_OPTIMIZED_ROUNDS
+
+
+def test_optimized_local_work_scaling():
+    """Theorem 5.4: local steps stay O(n log n) — the normalized ratio
+    max_steps / (n log2 n) must not grow with n."""
+    ratios = []
+    for n in (16, 36, 64):
+        inst = uniform_instance(n, seed=1)
+        res = route_optimized(inst, meter=True)
+        verify_delivery(inst, res.outputs)
+        ratios.append(res.meters.normalized_steps(n))
+    assert ratios[-1] <= ratios[0] * 1.5  # flat-ish, not growing
+
+
+def test_optimized_memory_scaling():
+    for n in (16, 36):
+        inst = uniform_instance(n, seed=2)
+        res = route_optimized(inst, meter=True)
+        # peak live words per node should be O(n): a few n words
+        assert res.meters.max_peak_words <= 8 * n

@@ -1,0 +1,210 @@
+"""Problem 4.1: Algorithm 3, Algorithm 4, and the sample-sort baseline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    SORTING_ROUNDS,
+    SUBSET_SORT_ROUNDS,
+    subset_sort_bucket_bound,
+)
+from repro.core import InvalidInstance, run_protocol
+from repro.sorting import (
+    KeyCodec,
+    SortInstance,
+    duplicate_heavy_instance,
+    presorted_instance,
+    reversed_instance,
+    sample_sort,
+    sort_lenzen,
+    subset_sort,
+    uniform_sort_instance,
+    verify_sorted_batches,
+)
+
+
+# ---------------------------------------------------------------- codec ----
+def test_codec_tag_roundtrip():
+    codec = KeyCodec(n=8, max_keys_per_node=8, key_universe=64)
+    for key in (0, 7, 63):
+        for src in (0, 7):
+            for seq in (0, 5):
+                t = codec.tag(key, src, seq)
+                assert codec.untag(t) == (key, src, seq)
+                assert codec.raw(t) == key
+
+
+def test_codec_order_is_footnote5_lexicographic():
+    codec = KeyCodec(n=4, max_keys_per_node=4, key_universe=16)
+    t1 = codec.tag(5, 0, 3)
+    t2 = codec.tag(5, 1, 0)
+    t3 = codec.tag(6, 0, 0)
+    assert t1 < t2 < t3
+
+
+def test_codec_rejects_oversized_universe():
+    with pytest.raises(InvalidInstance):
+        KeyCodec(n=4, max_keys_per_node=4, key_universe=4 ** 3 + 2)
+
+
+def test_codec_pack2_roundtrip():
+    codec = KeyCodec(n=4, max_keys_per_node=4, key_universe=16)
+    a, b = codec.tag(3, 1, 2), codec.sentinel
+    assert codec.unpack2(codec.pack2(a, b)) == (a, b)
+
+
+# ----------------------------------------------------------- instances ----
+def test_sort_instance_validation():
+    with pytest.raises(InvalidInstance):
+        SortInstance(3, [[1, 2, 3], [4, 5, 6]])
+    with pytest.raises(InvalidInstance):
+        SortInstance(2, [[1, 2], [3]])  # exact
+    with pytest.raises(InvalidInstance):
+        SortInstance(2, [[1, 99], [0, 1]], key_universe=4)
+
+
+def test_expected_batches_cover_all_keys():
+    inst = uniform_sort_instance(9, seed=1)
+    batches = inst.expected_batches()
+    assert sum(len(b) for b in batches) == 81
+    flat = [k for b in batches for k in b]
+    assert flat == sorted(flat)
+
+
+# -------------------------------------------------------- Algorithm 3 ----
+def run_subset_sort(n, w, keys_per, seed=0, redistribute=True):
+    groups = (tuple(range(w)),)
+    rng = random.Random(seed)
+    pool = rng.sample(range(10 ** 5), w * keys_per)
+    lists = [
+        sorted(pool[i * keys_per : (i + 1) * keys_per]) for i in range(w)
+    ]
+
+    def prog(ctx):
+        if ctx.node_id < w:
+            res = yield from subset_sort(
+                ctx, groups, 0, ctx.node_id, lists[ctx.node_id],
+                keys_per, "t", redistribute=redistribute,
+            )
+        else:
+            res = yield from subset_sort(
+                ctx, groups, None, None, [], keys_per, "t",
+                redistribute=redistribute,
+            )
+        return res
+
+    return run_protocol(n, prog, capacity=16), pool
+
+
+def test_subset_sort_ten_rounds_and_order():
+    res, pool = run_subset_sort(16, 4, 32)
+    assert res.rounds == SUBSET_SORT_ROUNDS
+    out = []
+    for i in range(4):
+        r = res.outputs[i]
+        assert r.run_offset == len(out)
+        out.extend(r.run)
+    assert out == sorted(pool)
+
+
+def test_subset_sort_skip_redistribution():
+    res, pool = run_subset_sort(16, 4, 32, redistribute=False)
+    assert res.rounds == SUBSET_SORT_ROUNDS - 2
+    out = []
+    for i in range(4):
+        out.extend(res.outputs[i].run)
+    assert sorted(out) == sorted(pool)
+
+
+def test_subset_sort_bucket_balance_lemma43():
+    res, _ = run_subset_sort(25, 5, 50, seed=3, redistribute=False)
+    bound = subset_sort_bucket_bound(50, 5)
+    for size in res.outputs[0].bucket_sizes:
+        assert size < bound
+
+
+def test_subset_sort_ragged_loads():
+    groups = ((0, 1, 2),)
+    lists = [[5, 1], [], [9, 3, 7, 2, 8, 4]]
+
+    def prog(ctx):
+        if ctx.node_id < 3:
+            res = yield from subset_sort(
+                ctx, groups, 0, ctx.node_id, lists[ctx.node_id], 6, "t"
+            )
+        else:
+            res = yield from subset_sort(ctx, groups, None, None, [], 6, "t")
+        return res
+
+    res = run_protocol(9, prog, capacity=16)
+    merged = []
+    for i in range(3):
+        merged.extend(res.outputs[i].run)
+    assert merged == sorted([5, 1, 9, 3, 7, 2, 8, 4])
+
+
+# -------------------------------------------------------- Algorithm 4 ----
+@pytest.mark.parametrize("n", [4, 9, 16, 25])
+def test_sort_lenzen_37_rounds(n):
+    inst = uniform_sort_instance(n, seed=n)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+    assert res.rounds == SORTING_ROUNDS
+
+
+@pytest.mark.parametrize(
+    "maker",
+    [presorted_instance, reversed_instance],
+)
+def test_sort_adversarial_placements(maker):
+    inst = maker(16)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+    assert res.rounds == SORTING_ROUNDS
+
+
+def test_sort_duplicate_keys_footnote5():
+    inst = duplicate_heavy_instance(16, distinct=2, seed=5)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+
+
+def test_sort_all_equal_keys():
+    inst = SortInstance(9, [[1] * 9 for _ in range(9)], key_universe=4)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+
+
+def test_sort_shared_determinism_audit():
+    inst = uniform_sort_instance(16, seed=11)
+    res = sort_lenzen(inst, verify_shared=True)
+    verify_sorted_batches(inst, res.outputs)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_sort_property_random(seed):
+    inst = uniform_sort_instance(16, seed=seed)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+    assert res.rounds == SORTING_ROUNDS
+
+
+# ------------------------------------------------------------ baseline ----
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sample_sort_correct_and_faster(seed):
+    inst = uniform_sort_instance(16, seed=seed)
+    res = sample_sort(inst, seed=seed)
+    verify_sorted_batches(inst, res.outputs)
+    assert res.rounds < SORTING_ROUNDS
+
+
+def test_sample_sort_reproducible():
+    inst = uniform_sort_instance(16, seed=2)
+    assert (
+        sample_sort(inst, seed=5).outputs
+        == sample_sort(inst, seed=5).outputs
+    )

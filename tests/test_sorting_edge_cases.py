@@ -1,0 +1,90 @@
+"""Algorithm 4 and derived-problem edge cases."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvalidInstance
+from repro.sorting import (
+    SortInstance,
+    sort_lenzen,
+    uniform_sort_instance,
+    verify_sorted_batches,
+)
+from repro.sorting.lenzen_sort import lenzen_sort_program
+
+
+def test_sort_requires_square_n():
+    inst = uniform_sort_instance(9, seed=1)
+    # build a non-square instance manually
+    bad = SortInstance(5, [[1, 2, 3, 4, 5] for _ in range(5)], key_universe=25)
+    with pytest.raises(InvalidInstance):
+        lenzen_sort_program(bad)
+    # square works
+    sort_lenzen(inst)
+
+
+def test_sort_smallest_square():
+    inst = uniform_sort_instance(4, seed=2)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+    assert res.rounds == 37
+
+
+def test_sort_max_key_universe():
+    n = 9
+    universe = n ** 3  # the codec's ceiling
+    keys = [[(i * 97 + j * 13) % universe for j in range(n)] for i in range(n)]
+    inst = SortInstance(n, keys, key_universe=universe)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+
+
+def test_sort_binary_keys():
+    inst = SortInstance(
+        16, [[(i + j) % 2 for j in range(16)] for i in range(16)],
+        key_universe=4,
+    )
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+
+
+def test_sort_one_node_holds_extremes():
+    n = 16
+    keys = [[8] * n for _ in range(n)]
+    keys[5] = [0] * (n // 2) + [15] * (n // 2)  # only node 5 has extremes
+    inst = SortInstance(n, keys, key_universe=16)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)
+    codec = inst.codec
+    assert codec.raw(res.outputs[0][0]) == 0
+    assert codec.raw(res.outputs[n - 1][-1]) == 15
+
+
+def test_batches_are_internally_sorted():
+    inst = uniform_sort_instance(16, seed=13)
+    res = sort_lenzen(inst)
+    for batch in res.outputs:
+        assert list(batch) == sorted(batch)
+        assert len(batch) == 16
+
+
+def test_batch_boundaries_are_monotone():
+    inst = uniform_sort_instance(16, seed=14)
+    res = sort_lenzen(inst)
+    for i in range(15):
+        if res.outputs[i] and res.outputs[i + 1]:
+            assert res.outputs[i][-1] < res.outputs[i + 1][0]
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    distinct=st.integers(1, 6),
+    seed=st.integers(0, 1000),
+)
+def test_sort_property_duplicates(distinct, seed):
+    from repro.sorting import duplicate_heavy_instance
+
+    inst = duplicate_heavy_instance(9, distinct=distinct, seed=seed)
+    res = sort_lenzen(inst)
+    verify_sorted_batches(inst, res.outputs)

@@ -1,0 +1,116 @@
+"""Algorithm 3 edge cases: piggyback, parallel groups, degenerate shapes."""
+
+import random
+
+from repro.core import run_protocol
+from repro.sorting import subset_sort
+
+
+def test_parallel_groups_sort_independently():
+    n = 16
+    w = 4
+    groups = tuple(tuple(range(g * w, (g + 1) * w)) for g in range(4))
+    rng = random.Random(8)
+    pools = [rng.sample(range(g * 10 ** 5, (g + 1) * 10 ** 5), 4 * 8)
+             for g in range(4)]
+    lists = {}
+    for g in range(4):
+        for r in range(w):
+            lists[g * w + r] = sorted(pools[g][r * 8 : (r + 1) * 8])
+
+    def prog(ctx):
+        g, r = divmod(ctx.node_id, w)
+        res = yield from subset_sort(
+            ctx, groups, g, r, lists[ctx.node_id], 8, "pg"
+        )
+        return res
+
+    res = run_protocol(n, prog, capacity=16)
+    assert res.rounds == 10  # all four groups in the same 10 rounds
+    for g in range(4):
+        merged = []
+        for r in range(w):
+            merged.extend(res.outputs[g * w + r].run)
+        assert merged == sorted(pools[g])
+
+
+def test_piggyback_counts_visible_to_all():
+    n = 9
+    w = 3
+    groups = tuple(tuple(range(g * w, (g + 1) * w)) for g in range(3))
+    rng = random.Random(1)
+    lists = {v: sorted(rng.sample(range(10 ** 6), 6)) for v in range(n)}
+
+    def prog(ctx):
+        g, r = divmod(ctx.node_id, w)
+        res = yield from subset_sort(
+            ctx, groups, g, r, lists[ctx.node_id], 6, "pb",
+            redistribute=False, piggyback_my_count=True,
+        )
+        return res
+
+    res = run_protocol(n, prog, capacity=16)
+    # every node collected every node's final count
+    expected = {v: len(res.outputs[v].run) for v in range(n)}
+    for v in range(n):
+        got = res.outputs[v].piggyback_counts
+        assert got == expected
+
+
+def test_single_member_group():
+    groups = ((0,),)
+
+    def prog(ctx):
+        if ctx.node_id == 0:
+            res = yield from subset_sort(
+                ctx, groups, 0, 0, [5, 3, 9, 1], 4, "w1"
+            )
+        else:
+            res = yield from subset_sort(ctx, groups, None, None, [], 4, "w1")
+        return res
+
+    res = run_protocol(4, prog, capacity=16)
+    assert res.outputs[0].run == [1, 3, 5, 9]
+    assert res.outputs[0].run_offset == 0
+
+
+def test_empty_inputs():
+    groups = ((0, 1),)
+
+    def prog(ctx):
+        if ctx.node_id < 2:
+            res = yield from subset_sort(ctx, groups, 0, ctx.node_id, [], 4, "e")
+        else:
+            res = yield from subset_sort(ctx, groups, None, None, [], 4, "e")
+        return res
+
+    res = run_protocol(4, prog, capacity=16)
+    assert res.outputs[0].run == []
+    assert res.outputs[1].run == []
+
+
+def test_heavily_skewed_inputs():
+    """One node holds everything; delimiters still spread the load within
+    the Lemma 4.3 bound."""
+    groups = ((0, 1, 2, 3),)
+    keys = sorted(random.Random(2).sample(range(10 ** 6), 32))
+
+    def prog(ctx):
+        mine = keys if ctx.node_id == 0 else []
+        if ctx.node_id < 4:
+            res = yield from subset_sort(
+                ctx, groups, 0, ctx.node_id, mine, 32, "sk"
+            )
+        else:
+            res = yield from subset_sort(
+                ctx, groups, None, None, [], 32, "sk"
+            )
+        return res
+
+    res = run_protocol(16, prog, capacity=16)
+    merged = []
+    for r in range(4):
+        merged.extend(res.outputs[r].run)
+    assert merged == keys
+    # even split after step 8
+    assert [len(res.outputs[r].run) for r in range(4)] == [8, 8, 8, 8]

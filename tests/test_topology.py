@@ -1,0 +1,89 @@
+"""Node-set partition arithmetic (groups and the Theorem 3.7 overlay)."""
+
+import pytest
+
+from repro.core import (
+    GroupPartition,
+    OverlayDecomposition,
+    contiguous_ranges,
+    is_perfect_square,
+    isqrt_exact,
+    split_evenly,
+    square_partition,
+)
+
+
+def test_isqrt_exact():
+    assert isqrt_exact(49) == 7
+    with pytest.raises(ValueError):
+        isqrt_exact(50)
+
+
+def test_is_perfect_square():
+    squares = {i * i for i in range(1, 20)}
+    for n in range(1, 200):
+        assert is_perfect_square(n) == (n in squares)
+
+
+def test_square_partition_layout():
+    part = square_partition(16)
+    assert part.num_groups == 4
+    assert list(part.members(2)) == [8, 9, 10, 11]
+    assert part.group_of(9) == 2
+    assert part.rank_in_group(9) == 1
+    assert part.member(2, 1) == 9
+
+
+def test_partition_bounds_checked():
+    part = GroupPartition(12, 3)
+    with pytest.raises(ValueError):
+        part.group_of(12)
+    with pytest.raises(ValueError):
+        part.members(4)
+    with pytest.raises(ValueError):
+        part.member(0, 3)
+    with pytest.raises(ValueError):
+        GroupPartition(10, 3)
+
+
+def test_overlay_windows_cover_everything():
+    for n in (5, 7, 10, 12, 20, 99):
+        ov = OverlayDecomposition(n)
+        assert len(ov.v1) == ov.m
+        assert len(ov.v2) == ov.m
+        assert set(ov.v1) | set(ov.v2) == set(range(n))
+        assert len(ov.low_fringe) == len(ov.high_fringe) == n - ov.m
+
+
+def test_overlay_classification():
+    ov = OverlayDecomposition(12)  # m = 9, fringes size 3
+    assert ov.classify_pair(0, 5) == "v1"
+    assert ov.classify_pair(10, 11) == "v2"
+    assert ov.classify_pair(1, 10) == "cross"
+    assert ov.classify_pair(10, 1) == "cross"
+    # core pairs go canonically to v1
+    assert ov.classify_pair(5, 6) == "v1"
+
+
+def test_overlay_cross_only_between_fringes():
+    for n in (6, 13, 27):
+        ov = OverlayDecomposition(n)
+        low, high = set(ov.low_fringe), set(ov.high_fringe)
+        for a in range(n):
+            for b in range(n):
+                if ov.classify_pair(a, b) == "cross":
+                    assert (a in low and b in high) or (
+                        a in high and b in low
+                    )
+
+
+def test_split_evenly():
+    assert split_evenly(10, 3) == [4, 3, 3]
+    assert split_evenly(9, 3) == [3, 3, 3]
+    assert sum(split_evenly(17, 5)) == 17
+    with pytest.raises(ValueError):
+        split_evenly(5, 0)
+
+
+def test_contiguous_ranges():
+    assert contiguous_ranges([2, 0, 3]) == [(0, 2), (2, 2), (2, 5)]
