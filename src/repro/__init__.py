@@ -13,19 +13,36 @@ Quickstart::
     sres = sort_lenzen(sinst)         # Theorem 4.5: 37 rounds
     verify_sorted_batches(sinst, sres.outputs)
 
-Subpackages: :mod:`repro.core` (simulator), :mod:`repro.graphtools`
+Both headline algorithms (and every baseline) accept an ``engine=``
+selector: ``"reference"`` is the fully-audited round loop, ``"fast"`` the
+throughput loop for large sweeps (see :mod:`repro.core.engine`)::
+
+    route_lenzen(inst, engine="fast")
+
+Subpackages: :mod:`repro.core` (simulator + engines), :mod:`repro.graphtools`
 (Koenig coloring), :mod:`repro.routing`, :mod:`repro.sorting`,
-:mod:`repro.extensions` (Section 6), :mod:`repro.analysis`.
+:mod:`repro.extensions` (Section 6), :mod:`repro.analysis`,
+:mod:`repro.scenarios` (workload taxonomy + differential runner).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import analysis, core, extensions, graphtools, routing, sorting  # noqa: F401
-from .core import CongestedClique, Packet, RunResult, run_protocol
+from .core import (
+    CongestedClique,
+    FastEngine,
+    Packet,
+    ReferenceEngine,
+    RunResult,
+    available_engines,
+    get_engine,
+    run_protocol,
+)
 from .routing import (
     Message,
     RoutingInstance,
     block_skew_instance,
+    bursty_instance,
     permutation_instance,
     route_lenzen,
     route_naive,
@@ -48,6 +65,7 @@ from .sorting import (
     verify_indices,
     verify_sorted_batches,
 )
+from . import scenarios  # noqa: F401  (after routing/sorting: it uses both)
 
 __all__ = [
     "__version__",
@@ -55,12 +73,17 @@ __all__ = [
     "Packet",
     "RunResult",
     "run_protocol",
+    "ReferenceEngine",
+    "FastEngine",
+    "get_engine",
+    "available_engines",
     "Message",
     "RoutingInstance",
     "uniform_instance",
     "permutation_instance",
     "transpose_instance",
     "block_skew_instance",
+    "bursty_instance",
     "route_lenzen",
     "route_optimized",
     "route_naive",
@@ -83,4 +106,5 @@ __all__ = [
     "sorting",
     "extensions",
     "analysis",
+    "scenarios",
 ]

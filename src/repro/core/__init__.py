@@ -2,7 +2,9 @@
 
 Public surface:
 
-* :class:`CongestedClique` / :func:`run_protocol` — the round engine.
+* :class:`CongestedClique` / :func:`run_protocol` — the simulator facade.
+* :class:`ExecutionEngine` and the :func:`get_engine` registry — pluggable
+  round-loop drivers (:class:`ReferenceEngine`, :class:`FastEngine`).
 * :class:`Packet` and packing helpers — the message model.
 * :class:`NodeContext` — the per-node execution environment.
 * :class:`GroupPartition` / :class:`OverlayDecomposition` — the paper's
@@ -11,6 +13,14 @@ Public surface:
 """
 
 from .context import NodeContext, SharedCache
+from .engine import (
+    ExecutionEngine,
+    FastEngine,
+    ReferenceEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from .errors import (
     CapacityExceeded,
     ColoringError,
@@ -58,6 +68,12 @@ __all__ = [
     "NodeGen",
     "RunResult",
     "run_protocol",
+    "ExecutionEngine",
+    "ReferenceEngine",
+    "FastEngine",
+    "get_engine",
+    "register_engine",
+    "available_engines",
     "NodeContext",
     "SharedCache",
     "Packet",

@@ -1,0 +1,502 @@
+"""Pluggable execution engines for the congested-clique simulator.
+
+The simulator separates *what* is executed (a per-node protocol generator,
+see :mod:`repro.core.network`) from *how* the round loop is driven.  An
+:class:`ExecutionEngine` owns the loop; :class:`~repro.core.network.
+CongestedClique` is the configuration facade that picks one.
+
+Two engines ship with the package:
+
+* :class:`ReferenceEngine` — the fully-audited loop.  Every packet is
+  validated against the model bounds on every round, every node is visited
+  every round, and traffic statistics are recorded packet by packet.  This
+  is the "simulator as proof checker" mode used by the correctness suite.
+* :class:`FastEngine` — the throughput loop.  It keeps a *live set* so
+  finished or idle nodes cost nothing, builds mailboxes lazily only for
+  nodes that actually receive traffic, batches per-round statistics into
+  flat counters, caches the word-magnitude bound, and audits packets on a
+  sampled stride (or not at all).  Outputs, round counts, and aggregate
+  statistics are identical to the reference engine for any well-behaved
+  protocol — the engine-equivalence suite enforces this — but a protocol
+  that *violates* the model may slip through a sampled audit.
+
+Select an engine by name (``"reference"``, ``"fast"``, ``"fast-audit"``,
+``"fast-unchecked"``), by instance (for custom tuning), or register your
+own with :func:`register_engine`::
+
+    from repro import CongestedClique
+    from repro.core.engine import FastEngine
+
+    CongestedClique(n, engine="fast").run(program)            # by name
+    CongestedClique(n, engine=FastEngine(validation="full"))  # by instance
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Union
+
+from .context import NodeContext, SharedCache
+from .errors import ModelViolation, ProtocolError
+from .message import POLY_BOUND_EXPONENT, Packet, validate_packet
+from .metrics import (
+    MeterReport,
+    OperationMeter,
+    PhaseSpan,
+    RoundStats,
+    RunStats,
+    collect_meters,
+)
+
+#: A per-node protocol: yields outboxes, receives inboxes, returns its output.
+NodeGen = Generator[Dict[int, Packet], Dict[int, Packet], Any]
+
+#: Factory building the protocol generator for one node.
+ProgramFactory = Callable[[NodeContext], NodeGen]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated protocol execution."""
+
+    outputs: List[Any]
+    stats: RunStats
+    meters: Optional[MeterReport] = None
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
+    #: name of the engine that produced this result.
+    engine: str = "reference"
+
+    @property
+    def rounds(self) -> int:
+        return self.stats.rounds
+
+    def phase_table(self) -> Dict[str, int]:
+        return self.stats.phase_table()
+
+
+def coerce_outbox(raw: Any, src: int, n: int) -> Dict[int, Packet]:
+    """Normalize a yielded outbox and check addressing."""
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise ModelViolation(
+            f"node {src} yielded {type(raw).__name__}, expected dict"
+        )
+    outbox: Dict[int, Packet] = {}
+    for dst, pkt in raw.items():
+        if not isinstance(dst, int) or not 0 <= dst < n:
+            raise ModelViolation(
+                f"node {src} addressed invalid destination {dst!r}"
+            )
+        if isinstance(pkt, tuple):
+            pkt = Packet(pkt)
+        if not isinstance(pkt, Packet):
+            raise ModelViolation(
+                f"node {src} sent non-packet {pkt!r} to {dst}"
+            )
+        outbox[dst] = pkt
+    return outbox
+
+
+class _RunState:
+    """Per-run scaffolding shared by every engine.
+
+    Builds the shared cache, per-node meters, statistics, phase plumbing and
+    node contexts, primes the generators (the first yielded value is the
+    round-1 outbox) and assembles the final :class:`RunResult`.
+    """
+
+    def __init__(self, net: Any) -> None:
+        n = net.n
+        self.n = n
+        self.shared = SharedCache(verify_mode=net.verify_shared)
+        self.meters: List[Optional[OperationMeter]] = [
+            OperationMeter() if net.meter else None for _ in range(n)
+        ]
+        self.stats = RunStats(n=n)
+        self.current_phase: List[Optional[PhaseSpan]] = [None]
+
+        stats = self.stats
+        current_phase = self.current_phase
+
+        def phase_sink(name: str) -> None:
+            span = current_phase[0]
+            if span is not None and span.name == name:
+                return
+            new_span = PhaseSpan(name=name, start_round=stats.rounds)
+            stats.phase_rounds.append(new_span)
+            current_phase[0] = new_span
+
+        self.contexts = [
+            NodeContext(
+                node_id=i,
+                n=n,
+                capacity=net.capacity,
+                shared=self.shared,
+                meter=self.meters[i],
+                phase_sink=phase_sink,
+            )
+            for i in range(n)
+        ]
+
+    def prime(
+        self,
+        program_factory: ProgramFactory,
+        coerce: Callable[[Any, int, int], Dict[int, Packet]],
+    ):
+        """Instantiate and prime every generator.
+
+        Returns ``(gens, outputs, done, pending)`` where ``pending[i]`` is
+        node ``i``'s round-1 outbox (``{}`` for nodes that returned without
+        yielding).
+        """
+        n = self.n
+        gens: List[Optional[NodeGen]] = [
+            program_factory(ctx) for ctx in self.contexts
+        ]
+        outputs: List[Any] = [None] * n
+        done = [False] * n
+        pending: List[Dict[int, Packet]] = [{} for _ in range(n)]
+        for i in range(n):
+            try:
+                pending[i] = coerce(next(gens[i]), i, n)
+            except StopIteration as stop:
+                outputs[i] = stop.value
+                done[i] = True
+                gens[i] = None
+                pending[i] = {}
+        return gens, outputs, done, pending
+
+    def finish(self, outputs: List[Any], net: Any, engine: str) -> RunResult:
+        meter_report = collect_meters(self.meters) if net.meter else None
+        return RunResult(
+            outputs=outputs,
+            stats=self.stats,
+            meters=meter_report,
+            shared_cache_hits=self.shared.hits,
+            shared_cache_misses=self.shared.misses,
+            engine=engine,
+        )
+
+
+class ExecutionEngine:
+    """Abstract round-loop driver.  Subclasses implement :meth:`execute`."""
+
+    #: registry name; also stamped on the :class:`RunResult`.
+    name: str = "abstract"
+
+    def execute(self, net: Any, program_factory: ProgramFactory) -> RunResult:
+        """Run ``program_factory`` on all ``net.n`` nodes until completion."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class ReferenceEngine(ExecutionEngine):
+    """The fully-audited loop (the original ``CongestedClique.run``).
+
+    Audits the model constraints the paper assumes (Section 2) on every
+    packet of every round: at most ``capacity`` words per packet, every word
+    polynomially bounded in ``n``, and no packet delivered to a node that
+    already terminated.  Use this engine whenever the simulator doubles as a
+    proof checker; use :class:`FastEngine` for large-scale sweeps.
+    """
+
+    name = "reference"
+
+    def execute(self, net: Any, program_factory: ProgramFactory) -> RunResult:
+        n = net.n
+        state = _RunState(net)
+        stats = state.stats
+        current_phase = state.current_phase
+        gens, outputs, done, pending_outbox = state.prime(
+            program_factory, coerce_outbox
+        )
+
+        while not all(done):
+            if stats.rounds >= net.max_rounds:
+                raise ProtocolError(
+                    f"protocol exceeded max_rounds={net.max_rounds}"
+                )
+            round_stats = stats.begin_round(stats.rounds)
+            if current_phase[0] is not None:
+                current_phase[0].rounds += 1
+
+            # Collect and audit this round's traffic.  Per-edge uniqueness
+            # is structural: each source's outbox is keyed by destination,
+            # so one packet per ordered pair per round is guaranteed here
+            # (concurrent activities merge through
+            # :func:`repro.core.protocol.merge_outboxes`, which raises
+            # ``EdgeConflict`` on overlap).
+            inboxes: List[Dict[int, Packet]] = [{} for _ in range(n)]
+            any_traffic = False
+            for src in range(n):
+                outbox = pending_outbox[src]
+                for dst, pkt in outbox.items():
+                    if net.validate:
+                        validate_packet(pkt, n, net.capacity)
+                    inboxes[dst][src] = pkt
+                    round_stats.record_packet(len(pkt))
+                    any_traffic = True
+            stats.commit_round(round_stats)
+
+            # Deliver inboxes; collect next outboxes.
+            for i in range(n):
+                gen = gens[i]
+                if gen is None:
+                    if inboxes[i]:
+                        raise ProtocolError(
+                            f"packet delivered to finished node {i} in round "
+                            f"{stats.rounds - 1}"
+                        )
+                    continue
+                try:
+                    pending_outbox[i] = coerce_outbox(
+                        gen.send(inboxes[i]), i, n
+                    )
+                except StopIteration as stop:
+                    outputs[i] = stop.value
+                    done[i] = True
+                    gens[i] = None
+                    pending_outbox[i] = {}
+
+            if not any_traffic and all(done):
+                break
+
+        return state.finish(outputs, net, self.name)
+
+
+class FastEngine(ExecutionEngine):
+    """Throughput-oriented loop: live-set, lazy mailboxes, sampled audits.
+
+    Args:
+        validation: ``"sampled"`` (default) audits every ``sample_stride``-th
+            packet, ``"full"`` audits every packet, ``"off"`` skips the audit
+            entirely.  ``CongestedClique(validate=False)`` forces ``"off"``.
+        sample_stride: stride between audited packets in ``"sampled"`` mode.
+
+    For well-behaved protocols the outputs, round counts, phase tables and
+    aggregate traffic statistics are identical to :class:`ReferenceEngine`:
+    generators are stepped in the same ascending node order, so inbox
+    insertion order, shared-cache hit patterns and meter charges all match.
+    The differences are purely in overhead:
+
+    * nodes that finished are dropped from the live list instead of being
+      re-inspected every round;
+    * inbox dicts exist only for nodes that receive traffic this round;
+    * traffic statistics accumulate in local counters and are committed once
+      per round;
+    * the polynomial word bound ``max(n, 2)**k`` is computed once per run
+      instead of once per packet, and the audit runs on a sampled stride.
+
+    Addressing errors (non-int or out-of-range destinations, packets to
+    finished nodes) are always checked exactly, on every packet, in every
+    validation mode.  Packet-level audits (type, capacity, word magnitude)
+    follow the validation mode: ``"full"`` matches the reference audit
+    packet-for-packet, ``"sampled"`` checks every ``sample_stride``-th
+    packet, ``"off"`` trusts the protocol.
+    """
+
+    name = "fast"
+
+    def __init__(
+        self, validation: str = "sampled", sample_stride: int = 64
+    ) -> None:
+        if validation not in ("off", "sampled", "full"):
+            raise ValueError(
+                f"validation must be 'off', 'sampled' or 'full', "
+                f"got {validation!r}"
+            )
+        self.validation = validation
+        self.sample_stride = max(1, int(sample_stride))
+
+    def execute(self, net: Any, program_factory: ProgramFactory) -> RunResult:
+        n = net.n
+        state = _RunState(net)
+        stats = state.stats
+        current_phase = state.current_phase
+        gens, outputs, done, pending = state.prime(
+            program_factory, self._coerce_fast
+        )
+        live = [i for i in range(n) if not done[i]]
+        live_set = set(live)
+
+        capacity = net.capacity
+        max_rounds = net.max_rounds
+        validation = self.validation if net.validate else "off"
+        audit_all = validation == "full"
+        audit_some = validation == "sampled"
+        stride = self.sample_stride
+        word_bound = max(n, 2) ** POLY_BOUND_EXPONENT
+        per_round = stats.per_round
+        seen = 0  # packets inspected so far, drives the sampling stride
+
+        while live:
+            rounds = stats.rounds
+            if rounds >= max_rounds:
+                raise ProtocolError(
+                    f"protocol exceeded max_rounds={max_rounds}"
+                )
+            span = current_phase[0]
+            if span is not None:
+                span.rounds += 1
+
+            # Collect traffic into lazily-created mailboxes.
+            packets = 0
+            words = 0
+            max_edge = 0
+            inboxes: Dict[int, Dict[int, Packet]] = {}
+            for src in live:
+                outbox = pending[src]
+                if not outbox:
+                    continue
+                for dst, pkt in outbox.items():
+                    if dst.__class__ is not int and not isinstance(dst, int):
+                        # exact per-packet check: a float like 1.0 hashes
+                        # equal to a live node id, so set membership alone
+                        # would silently deliver it.
+                        raise ModelViolation(
+                            f"node {src} addressed invalid destination "
+                            f"{dst!r}"
+                        )
+                    try:
+                        payload = pkt.words
+                    except AttributeError:
+                        pkt = self._coerce_packet(pkt, src, dst)
+                        payload = pkt.words
+                    n_words = len(payload)
+                    if audit_all or (audit_some and seen % stride == 0):
+                        if not isinstance(pkt, Packet):
+                            raise ModelViolation(
+                                f"node {src} sent non-packet {pkt!r} to "
+                                f"{dst}"
+                            )
+                        self._audit(pkt, payload, n, capacity, word_bound)
+                    seen += 1
+                    box = inboxes.get(dst)
+                    if box is None:
+                        if dst not in live_set:
+                            self._bad_destination(src, dst, n, rounds)
+                        box = inboxes[dst] = {}
+                    box[src] = pkt
+                    packets += 1
+                    words += n_words
+                    if n_words > max_edge:
+                        max_edge = n_words
+
+            per_round.append(RoundStats(rounds, packets, words, max_edge))
+            stats.rounds = rounds + 1
+            stats.total_packets += packets
+            stats.total_words += words
+
+            # Deliver inboxes; collect next outboxes.  Ascending order over
+            # the live list mirrors the reference engine's 0..n-1 sweep.
+            any_finished = False
+            coerce = self._coerce_fast
+            for i in live:
+                try:
+                    raw = gens[i].send(inboxes.get(i) or {})
+                except StopIteration as stop:
+                    outputs[i] = stop.value
+                    gens[i] = None
+                    pending[i] = _EMPTY_OUTBOX
+                    any_finished = True
+                else:
+                    pending[i] = raw if type(raw) is dict else coerce(raw, i, n)
+            if any_finished:
+                live = [i for i in live if gens[i] is not None]
+                live_set = set(live)
+
+        return state.finish(outputs, net, self.name)
+
+    @staticmethod
+    def _coerce_fast(raw: Any, src: int, n: int) -> Dict[int, Packet]:
+        """Trusting outbox coercion: dicts pass through untouched.
+
+        The traffic loop re-checks destinations exactly on every packet and
+        audits packet values per the validation mode, so the per-yield cost
+        here is one ``type`` check.
+        """
+        if type(raw) is dict:
+            return raw
+        return coerce_outbox(raw, src, n)
+
+    @staticmethod
+    def _coerce_packet(pkt: Any, src: int, dst: Any) -> Packet:
+        if isinstance(pkt, tuple):
+            return Packet(pkt)
+        raise ModelViolation(f"node {src} sent non-packet {pkt!r} to {dst}")
+
+    @staticmethod
+    def _audit(
+        pkt: Packet, payload: Any, n: int, capacity: int, bound: int
+    ) -> None:
+        """validate_packet with the magnitude bound precomputed per run."""
+        if len(payload) > capacity:
+            # Delegate for the canonical error message.
+            validate_packet(pkt, n, capacity)
+        for w in payload:
+            if not isinstance(w, int) or isinstance(w, bool):
+                validate_packet(pkt, n, capacity)
+            if not -bound < w < bound:
+                validate_packet(pkt, n, capacity)
+
+    @staticmethod
+    def _bad_destination(src: int, dst: Any, n: int, rounds: int) -> None:
+        if isinstance(dst, int) and 0 <= dst < n:
+            raise ProtocolError(
+                f"packet delivered to finished node {dst} in round {rounds}"
+            )
+        raise ModelViolation(
+            f"node {src} addressed invalid destination {dst!r}"
+        )
+
+
+#: Shared immutable placeholder for the pending outbox of a finished node.
+_EMPTY_OUTBOX: Dict[int, Packet] = {}
+
+#: Accepted engine selectors: ``None`` (default), a registry name, or an
+#: engine instance.
+EngineSpec = Union[None, str, ExecutionEngine]
+
+_REGISTRY: Dict[str, Callable[[], ExecutionEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], ExecutionEngine]) -> None:
+    """Register an engine factory under ``name`` for string lookup."""
+    _REGISTRY[name] = factory
+
+
+def available_engines() -> List[str]:
+    """Names accepted by :func:`get_engine` (and ``engine=`` parameters)."""
+    return sorted(_REGISTRY)
+
+
+def get_engine(spec: EngineSpec) -> ExecutionEngine:
+    """Resolve an engine selector to an engine instance.
+
+    ``None`` resolves to the fully-audited :class:`ReferenceEngine`; engine
+    instances pass through; strings are looked up in the registry.
+    """
+    if spec is None:
+        return ReferenceEngine()
+    if isinstance(spec, ExecutionEngine):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _REGISTRY[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown engine {spec!r}; available: "
+                f"{', '.join(available_engines())}"
+            ) from None
+    raise TypeError(f"engine must be None, a name, or an ExecutionEngine; "
+                    f"got {type(spec).__name__}")
+
+
+register_engine("reference", ReferenceEngine)
+register_engine("fast", FastEngine)
+register_engine("fast-audit", lambda: FastEngine(validation="full"))
+register_engine("fast-unchecked", lambda: FastEngine(validation="off"))

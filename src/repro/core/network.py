@@ -1,12 +1,14 @@
-"""The synchronous congested-clique simulator.
+"""The synchronous congested-clique simulator facade.
 
-The engine advances ``n`` per-node protocol generators in lockstep.  In each
-round every live generator emits an *outbox* — a mapping from destination
-node id to :class:`~repro.core.message.Packet` — and receives the *inbox*
-assembled from the previous round's sends.  The engine audits the model
-constraints the paper assumes (Section 2):
+The simulator advances ``n`` per-node protocol generators in lockstep.  In
+each round every live generator emits an *outbox* — a mapping from
+destination node id to :class:`~repro.core.message.Packet` — and receives
+the *inbox* assembled from the previous round's sends.  The engine audits
+the model constraints the paper assumes (Section 2):
 
-* at most one packet per ordered node pair per round (``EdgeConflict``);
+* at most one packet per ordered node pair per round (structural: outboxes
+  are keyed by destination; concurrent activities merge through
+  :func:`repro.core.protocol.merge_outboxes`, which raises ``EdgeConflict``);
 * at most ``capacity`` words per packet (``CapacityExceeded``);
 * every word an integer polynomially bounded in ``n`` (``WordSizeViolation``).
 
@@ -20,47 +22,34 @@ Protocol shape::
         return result                         # done; return value is output
 
 All generators must finish within ``max_rounds`` (guard against livelock).
+
+The round loop itself is pluggable: :class:`CongestedClique` delegates to an
+:class:`~repro.core.engine.ExecutionEngine` (the fully-audited
+``ReferenceEngine`` by default, or the throughput-oriented ``FastEngine``
+via ``engine="fast"``).  See :mod:`repro.core.engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any
 
-from .context import NodeContext, SharedCache
-from .errors import EdgeConflict, ModelViolation, ProtocolError
-from .message import DEFAULT_CAPACITY, Packet, validate_packet
-from .metrics import (
-    MeterReport,
-    OperationMeter,
-    PhaseSpan,
-    RunStats,
-    collect_meters,
+from .engine import (
+    EngineSpec,
+    ExecutionEngine,
+    NodeGen,
+    ProgramFactory,
+    RunResult,
+    get_engine,
 )
+from .message import DEFAULT_CAPACITY
 
-#: A per-node protocol: yields outboxes, receives inboxes, returns its output.
-NodeGen = Generator[Dict[int, Packet], Dict[int, Packet], Any]
-
-#: Factory building the protocol generator for one node.
-ProgramFactory = Callable[[NodeContext], NodeGen]
-
-
-@dataclass
-class RunResult:
-    """Outcome of one simulated protocol execution."""
-
-    outputs: List[Any]
-    stats: RunStats
-    meters: Optional[MeterReport] = None
-    shared_cache_hits: int = 0
-    shared_cache_misses: int = 0
-
-    @property
-    def rounds(self) -> int:
-        return self.stats.rounds
-
-    def phase_table(self) -> Dict[str, int]:
-        return self.stats.phase_table()
+__all__ = [
+    "CongestedClique",
+    "NodeGen",
+    "ProgramFactory",
+    "RunResult",
+    "run_protocol",
+]
 
 
 class CongestedClique:
@@ -70,13 +59,18 @@ class CongestedClique:
         n: number of nodes (ids ``0..n-1``).
         capacity: words per packet (the model's O(log n) bits as a constant
             number of machine words).
-        validate: audit every packet against the model (disable only for
-            large-scale benchmarking where the audit dominates runtime).
+        validate: audit packets against the model (disable only for
+            large-scale benchmarking where the audit dominates runtime;
+            with the fast engine this forces validation ``"off"``).
         meter: create an :class:`OperationMeter` per node for Section-5
             computation accounting.
         verify_shared: run the shared-computation cache in verify mode
             (recompute on hit and assert determinism).
         max_rounds: abort if a protocol runs longer than this many rounds.
+        engine: round-loop driver — ``None`` for the fully-audited reference
+            engine, a registered name (``"reference"``, ``"fast"``,
+            ``"fast-audit"``, ``"fast-unchecked"``), or an
+            :class:`~repro.core.engine.ExecutionEngine` instance.
     """
 
     def __init__(
@@ -87,6 +81,7 @@ class CongestedClique:
         meter: bool = False,
         verify_shared: bool = False,
         max_rounds: int = 10_000,
+        engine: EngineSpec = None,
     ) -> None:
         if n < 1:
             raise ValueError("n must be >= 1")
@@ -96,134 +91,11 @@ class CongestedClique:
         self.meter = meter
         self.verify_shared = verify_shared
         self.max_rounds = max_rounds
+        self.engine: ExecutionEngine = get_engine(engine)
 
     def run(self, program_factory: ProgramFactory) -> RunResult:
         """Execute one protocol on all ``n`` nodes until every node returns."""
-        n = self.n
-        shared = SharedCache(verify_mode=self.verify_shared)
-        meters: List[Optional[OperationMeter]] = [
-            OperationMeter() if self.meter else None for _ in range(n)
-        ]
-        stats = RunStats(n=n)
-
-        current_phase: List[Optional[PhaseSpan]] = [None]
-
-        def phase_sink(name: str) -> None:
-            span = current_phase[0]
-            if span is not None and span.name == name:
-                return
-            new_span = PhaseSpan(name=name, start_round=stats.rounds)
-            stats.phase_rounds.append(new_span)
-            current_phase[0] = new_span
-
-        contexts = [
-            NodeContext(
-                node_id=i,
-                n=n,
-                capacity=self.capacity,
-                shared=shared,
-                meter=meters[i],
-                phase_sink=phase_sink,
-            )
-            for i in range(n)
-        ]
-        gens: List[Optional[NodeGen]] = [program_factory(ctx) for ctx in contexts]
-        outputs: List[Any] = [None] * n
-        done = [False] * n
-
-        # Prime every generator: the first yielded value is the round-1 outbox.
-        pending_outbox: List[Dict[int, Packet]] = [{} for _ in range(n)]
-        for i in range(n):
-            try:
-                pending_outbox[i] = self._coerce_outbox(next(gens[i]), i)
-            except StopIteration as stop:
-                outputs[i] = stop.value
-                done[i] = True
-                gens[i] = None
-                pending_outbox[i] = {}
-
-        while not all(done):
-            if stats.rounds >= self.max_rounds:
-                raise ProtocolError(
-                    f"protocol exceeded max_rounds={self.max_rounds}"
-                )
-            round_stats = stats.begin_round(stats.rounds)
-            if current_phase[0] is not None:
-                current_phase[0].rounds += 1
-
-            # Collect and audit this round's traffic.
-            inboxes: List[Dict[int, Packet]] = [{} for _ in range(n)]
-            any_traffic = False
-            for src in range(n):
-                outbox = pending_outbox[src]
-                for dst, pkt in outbox.items():
-                    if self.validate:
-                        validate_packet(pkt, n, self.capacity)
-                    if dst in inboxes and dst in range(n):
-                        if src in inboxes[dst]:
-                            raise EdgeConflict(
-                                f"node {src} sent two packets to {dst} in "
-                                f"round {stats.rounds}"
-                            )
-                    inboxes[dst][src] = pkt
-                    round_stats.record_packet(len(pkt))
-                    any_traffic = True
-            stats.commit_round(round_stats)
-
-            # Deliver inboxes; collect next outboxes.
-            for i in range(n):
-                gen = gens[i]
-                if gen is None:
-                    if inboxes[i]:
-                        raise ProtocolError(
-                            f"packet delivered to finished node {i} in round "
-                            f"{stats.rounds - 1}"
-                        )
-                    continue
-                try:
-                    pending_outbox[i] = self._coerce_outbox(
-                        gen.send(inboxes[i]), i
-                    )
-                except StopIteration as stop:
-                    outputs[i] = stop.value
-                    done[i] = True
-                    gens[i] = None
-                    pending_outbox[i] = {}
-
-            if not any_traffic and all(done):
-                break
-
-        meter_report = collect_meters(meters) if self.meter else None
-        return RunResult(
-            outputs=outputs,
-            stats=stats,
-            meters=meter_report,
-            shared_cache_hits=shared.hits,
-            shared_cache_misses=shared.misses,
-        )
-
-    def _coerce_outbox(self, raw: Any, src: int) -> Dict[int, Packet]:
-        """Normalize a yielded outbox and check addressing."""
-        if raw is None:
-            return {}
-        if not isinstance(raw, dict):
-            raise ModelViolation(
-                f"node {src} yielded {type(raw).__name__}, expected dict"
-            )
-        outbox: Dict[int, Packet] = {}
-        for dst, pkt in raw.items():
-            if not isinstance(dst, int) or not 0 <= dst < self.n:
-                raise ModelViolation(
-                    f"node {src} addressed invalid destination {dst!r}"
-                )
-            if isinstance(pkt, tuple):
-                pkt = Packet(pkt)
-            if not isinstance(pkt, Packet):
-                raise ModelViolation(
-                    f"node {src} sent non-packet {pkt!r} to {dst}"
-                )
-            outbox[dst] = pkt
-        return outbox
+        return self.engine.execute(self, program_factory)
 
 
 def run_protocol(

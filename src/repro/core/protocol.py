@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, Iterable, Optional, Tuple
 
-from .errors import EdgeConflict
+from .errors import EdgeConflict, ProtocolError
 from .message import Packet
 
 Outbox = Dict[int, Packet]
@@ -49,12 +49,25 @@ def strip_piggyback(inbox: Inbox) -> Tuple[Inbox, Dict[int, int]]:
     Returns ``(clean_inbox, words)`` where ``words[src]`` is the piggybacked
     word from ``src`` and ``clean_inbox`` retains only packets that carried
     real payload besides the piggyback word.
+
+    :func:`attach_piggyback` always emits at least the broadcast word, so in
+    a piggyback round every received packet carries >= 1 word.  An *empty*
+    packet means the sender skipped the attach step; silently dropping it
+    (as this function once did) would lose that sender's broadcast word and
+    desynchronize the receivers, so it is reported loudly instead.
+
+    Raises:
+        ProtocolError: if a zero-word packet arrives — the sender did not
+            run :func:`attach_piggyback` for this round.
     """
     clean: Inbox = {}
     words: Dict[int, int] = {}
     for src, pkt in inbox.items():
         if len(pkt.words) == 0:
-            continue
+            raise ProtocolError(
+                f"piggyback round received an empty packet from node {src}; "
+                "attach_piggyback always carries at least the broadcast word"
+            )
         words[src] = pkt.words[-1]
         rest = pkt.words[:-1]
         if rest:

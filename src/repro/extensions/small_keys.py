@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Sequence
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.errors import InvalidInstance, ProtocolError
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
@@ -160,13 +161,14 @@ def sort_small_keys(
     counts_by_node: Sequence[Sequence[int]],
     num_keys: int,
     max_count: int,
+    engine: "EngineSpec" = None,
 ) -> RunResult:
     """Order all key copies in 2 rounds (Section 6.3).
 
     Outputs per node: ``{"totals": [...], "ranks": {kappa: [global ranks of
     my copies]}}``.
     """
-    clique = CongestedClique(n, capacity=4)
+    clique = CongestedClique(n, capacity=4, engine=engine)
     return clique.run(
         small_key_program(n, counts_by_node, num_keys, max_count)
     )

@@ -22,6 +22,7 @@ from .problem import (
     Message,
     RoutingInstance,
     block_skew_instance,
+    bursty_instance,
     from_demand,
     permutation_instance,
     transpose_instance,
@@ -37,6 +38,7 @@ __all__ = [
     "permutation_instance",
     "transpose_instance",
     "block_skew_instance",
+    "bursty_instance",
     "from_demand",
     "verify_delivery",
     "route_known",

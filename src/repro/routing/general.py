@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.errors import ProtocolError
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
@@ -224,6 +225,7 @@ def route_lenzen(
     instance: RoutingInstance,
     meter: bool = False,
     verify_shared: bool = False,
+    engine: EngineSpec = None,
 ) -> RunResult:
     """Theorem 3.7: route any Problem 3.1 instance in at most 16 rounds.
 
@@ -234,7 +236,7 @@ def route_lenzen(
     if is_perfect_square(n):
         clique = CongestedClique(
             n, capacity=CHANNEL_CAPACITY, meter=meter,
-            verify_shared=verify_shared,
+            verify_shared=verify_shared, engine=engine,
         )
         from .lenzen import lenzen_square_program
 
@@ -245,8 +247,9 @@ def route_lenzen(
         # in at most n <= 3 rounds — comfortably within the constant bound.
         from .naive import route_naive
 
-        return route_naive(instance)
+        return route_naive(instance, engine=engine)
     clique = CongestedClique(
-        n, capacity=ENGINE_CAPACITY, meter=meter, verify_shared=verify_shared
+        n, capacity=ENGINE_CAPACITY, meter=meter,
+        verify_shared=verify_shared, engine=engine,
     )
     return clique.run(lenzen_general_program(instance))

@@ -38,6 +38,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.errors import ModelViolation, ProtocolError
 from ..core.message import Packet, pack_triple, unpack_triple
 from ..core.network import CongestedClique, RunResult
@@ -476,9 +477,14 @@ def route_lenzen_square(
     capacity: int = 8,
     meter: bool = False,
     verify_shared: bool = False,
+    engine: "EngineSpec" = None,
 ) -> RunResult:
     """Run the 16-round router on a perfect-square instance."""
     clique = CongestedClique(
-        instance.n, capacity=capacity, meter=meter, verify_shared=verify_shared
+        instance.n,
+        capacity=capacity,
+        meter=meter,
+        verify_shared=verify_shared,
+        engine=engine,
     )
     return clique.run(lenzen_square_program(instance))

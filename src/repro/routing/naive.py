@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
 from .lenzen import _unwire, _wire, header_base
@@ -31,15 +32,20 @@ def naive_program(
     """
     n = instance.n
     hbase = header_base(n, instance.max_load)
+    # Receive counts are a function of the instance, not of the node:
+    # compute them once here instead of scanning all n source lists inside
+    # every node's generator (which made instance setup O(n^3)).
+    recv_counts = [0] * n
+    for msgs in instance.messages_by_source:
+        for m in msgs:
+            recv_counts[m.dest] += 1
 
     def program(ctx: NodeContext) -> Generator:
         me = ctx.node_id
         queues: Dict[int, List] = {}
-        expected = 0
+        expected = recv_counts[me]
         for m in instance.messages_by_source[me]:
             queues.setdefault(m.dest, []).append(_wire(m, hbase))
-        for msgs in instance.messages_by_source:
-            expected += sum(1 for m in msgs if m.dest == me)
         for q in queues.values():
             q.sort()
 
@@ -58,9 +64,13 @@ def naive_program(
     return program
 
 
-def route_naive(instance: RoutingInstance, capacity: int = 8) -> RunResult:
+def route_naive(
+    instance: RoutingInstance,
+    capacity: int = 8,
+    engine: EngineSpec = None,
+) -> RunResult:
     """Run the naive baseline; rounds = max per-edge demand."""
-    clique = CongestedClique(instance.n, capacity=capacity)
+    clique = CongestedClique(instance.n, capacity=capacity, engine=engine)
     return clique.run(naive_program(instance))
 
 

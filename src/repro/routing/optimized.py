@@ -40,6 +40,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Generator, List, Sequence, Tuple
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.errors import ProtocolError
 from ..core.message import Packet, unpack_triple
 from ..core.network import CongestedClique, RunResult
@@ -256,6 +257,7 @@ def route_optimized(
     instance: RoutingInstance,
     meter: bool = False,
     verify_shared: bool = False,
+    engine: "EngineSpec" = None,
 ) -> RunResult:
     """Run the Section 5 router (12 rounds, O(n log n) work per node)."""
     clique = CongestedClique(
@@ -263,5 +265,6 @@ def route_optimized(
         capacity=OPT_CAPACITY,
         meter=meter,
         verify_shared=verify_shared,
+        engine=engine,
     )
     return clique.run(optimized_program(instance))

@@ -191,6 +191,41 @@ def block_skew_instance(n: int, seed: int = 0) -> RoutingInstance:
     return _instance_from_dest_lists(n, dests)
 
 
+def bursty_instance(
+    n: int, seed: int = 0, hot_fraction: float = 0.125
+) -> RoutingInstance:
+    """Relaxed instance with bursty, hotspot-concentrated traffic.
+
+    A small set of *hot* sources emits large bursts (up to ``n`` messages
+    each), mostly aimed at a small set of hot destinations; the remaining
+    nodes send only a handful of messages or none at all.  Per-node loads
+    stay within the Problem 3.1 cap of ``n``, but the instance is far from
+    the exact normal form (``exact=False``) — this is the "bursty multiplex
+    traffic" scenario family, and the workload where an engine's idle-node
+    handling matters most.
+    """
+    rng = random.Random(seed)
+    num_hot = max(2, int(n * hot_fraction))
+    hot = rng.sample(range(n), num_hot)
+    hot_dests = rng.sample(range(n), num_hot)
+    recv_counts = [0] * n
+    msgs: List[List[Message]] = [[] for _ in range(n)]
+
+    def pick_dest() -> int:
+        d = rng.choice(hot_dests) if rng.random() < 0.75 else rng.randrange(n)
+        if recv_counts[d] >= n:  # respect the per-destination cap
+            d = min(range(n), key=recv_counts.__getitem__)
+        return d
+
+    for i in range(n):
+        burst = rng.randrange(n // 2, n + 1) if i in hot else rng.randrange(3)
+        for j in range(burst):
+            d = pick_dest()
+            recv_counts[d] += 1
+            msgs[i].append(Message(source=i, dest=d, seq=j, payload=i * n + j))
+    return RoutingInstance(n, msgs, exact=False)
+
+
 def from_demand(
     n: int, demand: Sequence[Sequence[int]], seed: Optional[int] = None
 ) -> RoutingInstance:

@@ -20,6 +20,7 @@ import random
 from typing import Callable, Dict, Generator, List
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
 from ..core.protocol import attach_piggyback, strip_piggyback
@@ -79,7 +80,10 @@ def valiant_program(
 
 
 def route_valiant(
-    instance: RoutingInstance, seed: int = 0, capacity: int = 8
+    instance: RoutingInstance,
+    seed: int = 0,
+    capacity: int = 8,
+    engine: "EngineSpec" = None,
 ) -> RunResult:
     """Run the randomized baseline (reproducible via ``seed``).
 
@@ -87,5 +91,5 @@ def route_valiant(
     subtract the constant 1 for the pure traffic rounds if comparing against
     closed-form congestion bounds.
     """
-    clique = CongestedClique(instance.n, capacity=capacity)
+    clique = CongestedClique(instance.n, capacity=capacity, engine=engine)
     return clique.run(valiant_program(instance, seed=seed))

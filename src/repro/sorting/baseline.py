@@ -26,6 +26,7 @@ import random
 from typing import Callable, Dict, Generator, List, Tuple
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.errors import ProtocolError
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
@@ -145,8 +146,10 @@ def sample_sort_program(
 
 
 def sample_sort(
-    instance: SortInstance, seed: int = 0
+    instance: SortInstance, seed: int = 0, engine: "EngineSpec" = None
 ) -> RunResult:
     """Run the randomized sample-sort baseline (reproducible via seed)."""
-    clique = CongestedClique(instance.n, capacity=SORT_CAPACITY)
+    clique = CongestedClique(
+        instance.n, capacity=SORT_CAPACITY, engine=engine
+    )
     return clique.run(sample_sort_program(instance, seed=seed))

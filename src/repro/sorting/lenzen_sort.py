@@ -33,6 +33,7 @@ import bisect
 from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..core.context import NodeContext
+from ..core.engine import EngineSpec
 from ..core.errors import InvalidInstance, ProtocolError
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
@@ -298,6 +299,7 @@ def sort_lenzen(
     instance: SortInstance,
     meter: bool = False,
     verify_shared: bool = False,
+    engine: "EngineSpec" = None,
 ) -> RunResult:
     """Run Algorithm 4; outputs are per-node sorted tagged-key batches."""
     clique = CongestedClique(
@@ -305,5 +307,6 @@ def sort_lenzen(
         capacity=SORT_CAPACITY,
         meter=meter,
         verify_shared=verify_shared,
+        engine=engine,
     )
     return clique.run(lenzen_sort_program(instance))

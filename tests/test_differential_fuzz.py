@@ -1,0 +1,99 @@
+"""Differential fuzzing: four routers, one oracle, many seeded instances.
+
+``lenzen``, ``naive``, ``randomized`` and ``optimized`` routing are run on
+identical seeded random instances (several sizes, balanced and skewed);
+every run must deliver the identical multiset of messages to every node,
+and round counts must match the closed forms in :mod:`repro.analysis.bounds`
+(an inequality for the constant-round routers, an exact prediction for the
+naive baseline).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import ROUTING_ROUNDS
+from repro.analysis.bounds import ROUTING_OPTIMIZED_ROUNDS
+from repro.core.topology import is_perfect_square
+from repro.routing import (
+    RoutingInstance,
+    block_skew_instance,
+    bursty_instance,
+    naive_round_bound,
+    route_lenzen,
+    route_naive,
+    route_optimized,
+    route_valiant,
+    uniform_instance,
+    verify_delivery,
+)
+
+#: square sizes run all four routers; non-square sizes skip ``optimized``.
+SIZES = [16, 20, 25, 27]
+
+FAMILIES = {
+    "balanced": uniform_instance,
+    "skewed": block_skew_instance,
+    "bursty": bursty_instance,
+}
+
+_SEED_RNG = random.Random(0xC11C)
+SEEDS = [_SEED_RNG.randrange(2 ** 16) for _ in range(3)]
+
+
+def _routers_for(inst: RoutingInstance):
+    routers = {
+        "lenzen": lambda: route_lenzen(inst),
+        "naive": lambda: route_naive(inst),
+        "randomized": lambda: route_valiant(inst, seed=17),
+    }
+    if is_perfect_square(inst.n):
+        routers["optimized"] = lambda: route_optimized(inst)
+    return routers
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+@pytest.mark.parametrize("n", SIZES)
+def test_routers_agree_on_random_instances(n, family, seed):
+    inst = FAMILIES[family](n, seed=seed)
+    expected = inst.expected_deliveries()
+    results = {}
+    for name, run in _routers_for(inst).items():
+        res = run()
+        verify_delivery(inst, res.outputs)
+        # identical delivered multisets, node by node
+        assert [sorted(node) for node in res.outputs] == expected, name
+        results[name] = res
+
+    assert results["lenzen"].rounds <= ROUTING_ROUNDS
+    assert results["naive"].rounds == naive_round_bound(inst)
+    if "optimized" in results:
+        assert results["optimized"].rounds <= ROUTING_OPTIMIZED_ROUNDS
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_differential_on_fast_engine(seed):
+    # The same differential holds when all routers run on the fast engine.
+    inst = uniform_instance(16, seed=seed)
+    expected = inst.expected_deliveries()
+    for run in (
+        lambda: route_lenzen(inst, engine="fast"),
+        lambda: route_naive(inst, engine="fast"),
+        lambda: route_valiant(inst, seed=3, engine="fast"),
+        lambda: route_optimized(inst, engine="fast"),
+    ):
+        res = run()
+        assert [sorted(node) for node in res.outputs] == expected
+
+
+def test_lenzen_round_count_is_constant_across_the_fuzz_corpus():
+    # Theorem 3.7's bound is a worst-case constant: across the whole corpus
+    # the deterministic router must never depend on the instance shape.
+    rounds = set()
+    for seed in SEEDS:
+        for n in (16, 25):
+            for family in FAMILIES.values():
+                inst = family(n, seed=seed)
+                rounds.add(route_lenzen(inst).rounds)
+    assert max(rounds) <= ROUTING_ROUNDS

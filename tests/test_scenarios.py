@@ -1,0 +1,139 @@
+"""The scenario subsystem: taxonomy, runner, differential cross-checks."""
+
+import pytest
+
+from repro.core.errors import VerificationError
+from repro.routing import bursty_instance, route_naive, verify_delivery
+from repro.scenarios import (
+    BurstyMultiplexWorkload,
+    Scenario,
+    ScenarioRunner,
+    default_scenarios,
+    families,
+    output_digest,
+    scenario_matrix,
+)
+from repro.scenarios.runner import ALGORITHMS, algorithms
+
+
+def test_taxonomy_covers_all_kinds():
+    assert families("routing") == [
+        "adversarial", "balanced", "bursty", "skewed", "transpose",
+    ]
+    assert families("sorting") == [
+        "duplicates", "presorted", "reversed", "uniform",
+    ]
+    assert families("multiplex") == ["bursty"]
+    with pytest.raises(ValueError, match="unknown scenario family"):
+        Scenario("routing", "quantum", 16)
+
+
+def test_scenario_matrix_and_defaults():
+    matrix = scenario_matrix("routing", [16, 25], seeds=(0, 1))
+    assert len(matrix) == len(families("routing")) * 2 * 2
+    quick = default_scenarios(quick=True)
+    assert {sc.kind for sc in quick} == {"routing", "sorting", "multiplex"}
+    assert len(default_scenarios(quick=False)) > len(quick)
+    sc = Scenario("routing", "balanced", 16, seed=2)
+    assert "balanced" in sc.name and "n=16" in sc.name
+
+
+def test_algorithm_registry():
+    assert algorithms("routing") == [
+        "lenzen", "naive", "optimized", "randomized",
+    ]
+    assert algorithms("sorting") == ["lenzen", "samplesort"]
+    runner = ScenarioRunner()
+    # optimized/sorting need square n
+    assert "optimized" in runner.applicable_algorithms(
+        Scenario("routing", "balanced", 16)
+    )
+    assert "optimized" not in runner.applicable_algorithms(
+        Scenario("routing", "balanced", 20)
+    )
+    with pytest.raises(ValueError, match="no routing algorithm"):
+        runner.run(Scenario("routing", "balanced", 16), "dijkstra")
+
+
+@pytest.mark.parametrize("family", ["balanced", "skewed", "bursty"])
+def test_routing_differential(family):
+    runner = ScenarioRunner(engines=("reference", "fast"))
+    report = runner.differential(Scenario("routing", family, 16, seed=1))
+    assert report.ok, report.failures
+    # all four routers on both engines
+    assert len(report.outcomes) == 8
+    assert len({o.digest for o in report.outcomes}) == 1
+    lenzen = [o for o in report.outcomes if o.algorithm == "lenzen"]
+    assert all(o.rounds <= o.budget for o in lenzen)
+
+
+def test_sorting_differential():
+    runner = ScenarioRunner()
+    report = runner.differential(Scenario("sorting", "duplicates", 16, seed=2))
+    assert report.ok, report.failures
+    assert {o.algorithm for o in report.outcomes} == {"lenzen", "samplesort"}
+
+
+def test_multiplex_differential_and_round_prediction():
+    runner = ScenarioRunner()
+    scenario = Scenario("multiplex", "bursty", 16, seed=3)
+    report = runner.differential(scenario)
+    assert report.ok, report.failures
+    workload = scenario.build()
+    assert all(
+        o.rounds == workload.expected_rounds for o in report.outcomes
+    )
+
+
+def test_multiplex_workload_oracle_detects_corruption():
+    workload = BurstyMultiplexWorkload(8, seed=1)
+    expected = workload.expected_outputs()
+    with pytest.raises(VerificationError):
+        corrupted = [list(e) for e in expected]
+        corrupted[0] = [[999], corrupted[0][1]]
+        workload.verify(corrupted)
+
+
+def test_bursty_instance_is_valid_and_routable():
+    inst = bursty_instance(20, seed=9)
+    assert not inst.exact
+    counts = [len(msgs) for msgs in inst.messages_by_source]
+    assert max(counts) <= inst.max_load
+    assert min(counts) == 0 or min(counts) < max(counts)  # genuinely skewed
+    res = route_naive(inst)
+    verify_delivery(inst, res.outputs)
+
+
+def test_output_digest_is_stable_and_discriminating():
+    inst = bursty_instance(16, seed=4)
+    a = route_naive(inst)
+    b = route_naive(inst, engine="fast")
+    assert output_digest("routing", a.outputs) == output_digest(
+        "routing", b.outputs
+    )
+    other = bursty_instance(16, seed=5)
+    c = route_naive(other)
+    assert output_digest("routing", a.outputs) != output_digest(
+        "routing", c.outputs
+    )
+
+
+def test_runner_reports_budget_violation_as_failure():
+    # An algorithm whose budget predicts fewer rounds than measured must be
+    # flagged, not silently accepted.
+    from repro.scenarios.runner import AlgorithmSpec, register_algorithm
+
+    name = "naive-misbudgeted"
+    register_algorithm(AlgorithmSpec(
+        kind="routing",
+        name=name,
+        run=ALGORITHMS[("routing", "naive")].run,
+        budget=lambda inst: (0, True),
+    ))
+    try:
+        runner = ScenarioRunner(engines=("reference",))
+        outcome = runner.run(Scenario("routing", "balanced", 16), name)
+        assert not outcome.ok
+        assert "round count" in outcome.error
+    finally:
+        del ALGORITHMS[("routing", name)]
