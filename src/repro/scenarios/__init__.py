@@ -1,0 +1,52 @@
+"""Scenario sweeps: diverse workloads x algorithms x execution engines.
+
+This subsystem turns the reproduction into a differential testing harness:
+
+* :mod:`repro.scenarios.generators` — the scenario taxonomy
+  (balanced / skewed / adversarial / transpose / bursty routing, uniform /
+  duplicate-heavy / presorted / reversed sorting, bursty multiplex traffic);
+* :mod:`repro.scenarios.runner` — the :class:`ScenarioRunner`, which
+  executes any algorithm on any engine, verifies outputs against oracles,
+  checks round counts against the paper's bounds, and cross-checks that all
+  algorithm/engine combinations agree byte-for-byte.
+
+Smoke-run the default matrix from the command line::
+
+    python -m repro.scenarios --quick
+"""
+
+from .generators import (
+    KINDS,
+    BurstyMultiplexWorkload,
+    Scenario,
+    default_scenarios,
+    families,
+    scenario_matrix,
+)
+from .runner import (
+    ALGORITHMS,
+    AlgorithmSpec,
+    DifferentialReport,
+    ScenarioOutcome,
+    ScenarioRunner,
+    algorithms,
+    output_digest,
+    register_algorithm,
+)
+
+__all__ = [
+    "KINDS",
+    "Scenario",
+    "BurstyMultiplexWorkload",
+    "default_scenarios",
+    "families",
+    "scenario_matrix",
+    "ScenarioRunner",
+    "ScenarioOutcome",
+    "DifferentialReport",
+    "AlgorithmSpec",
+    "ALGORITHMS",
+    "algorithms",
+    "register_algorithm",
+    "output_digest",
+]

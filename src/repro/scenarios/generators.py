@@ -1,0 +1,272 @@
+"""Scenario taxonomy: named workload families over sizes and seeds.
+
+A :class:`Scenario` is a reproducible (kind, family, n, seed) coordinate;
+``build()`` materializes the concrete workload object.  Families:
+
+========== ============ ====================================================
+kind       family       workload
+========== ============ ====================================================
+routing    balanced     :func:`~repro.routing.problem.uniform_instance` —
+                        random doubly-balanced assignment
+routing    skewed       :func:`~repro.routing.problem.block_skew_instance` —
+                        traffic concentrated between group pairs
+routing    adversarial  :func:`~repro.routing.problem.permutation_instance`
+                        — the hotspot-per-node worst case for direct routing
+routing    transpose    :func:`~repro.routing.problem.transpose_instance` —
+                        all-to-all, perfectly balanced per edge
+routing    bursty       :func:`~repro.routing.problem.bursty_instance` —
+                        relaxed instance, bursts from few hot sources
+sorting    uniform      random keys, duplicates possible
+sorting    duplicates   only a handful of distinct values (tie-breaking)
+sorting    presorted    input already in globally sorted placement
+sorting    reversed     anti-sorted placement
+multiplex  bursty       :class:`BurstyMultiplexWorkload` — two channels with
+                        uneven per-node bursts multiplexed on one clique
+========== ============ ====================================================
+
+The matrix helpers (:func:`scenario_matrix`, :func:`default_scenarios`)
+enumerate scenarios for sweeps; the :mod:`repro.scenarios.runner` executes
+them on any algorithm and any engine and cross-checks the results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.context import NodeContext
+from ..core.errors import VerificationError
+from ..core.message import Packet
+from ..core.topology import is_perfect_square
+from ..routing.multiplex import Channel, multiplex
+from ..routing.problem import (
+    block_skew_instance,
+    bursty_instance,
+    permutation_instance,
+    transpose_instance,
+    uniform_instance,
+)
+from ..sorting.problem import (
+    duplicate_heavy_instance,
+    presorted_instance,
+    reversed_instance,
+    uniform_sort_instance,
+)
+
+KINDS = ("routing", "sorting", "multiplex")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible workload coordinate."""
+
+    kind: str
+    family: str
+    n: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if (self.kind, self.family) not in _BUILDERS:
+            known = ", ".join(f"{k}/{f}" for k, f in sorted(_BUILDERS))
+            raise ValueError(
+                f"unknown scenario family {self.kind}/{self.family}; "
+                f"known: {known}"
+            )
+
+    @property
+    def name(self) -> str:
+        return f"{self.kind}/{self.family}[n={self.n},seed={self.seed}]"
+
+    def build(self) -> Any:
+        """Materialize the workload (a problem instance or workload object)."""
+        return _BUILDERS[(self.kind, self.family)](self.n, self.seed)
+
+
+class BurstyMultiplexWorkload:
+    """Two concurrently multiplexed channels carrying uneven bursts.
+
+    Channel ``A`` spans all ``n`` nodes; channel ``B`` spans the even nodes.
+    In each channel, member ``j`` sends ``bursts[j]`` packets — one per
+    round, each a :data:`width`-word payload — to its successor in the
+    channel ring, then idles until the channel's longest burst drains.  The
+    two channels share physical edges through the frame multiplexer, so this
+    exercises exactly the machinery Theorem 3.7's overlay relies on, under
+    deliberately skewed ("bursty") load.
+
+    ``expected_outputs()`` is computable in closed form, which makes the
+    workload a differential oracle for engines.
+    """
+
+    #: payload words per burst packet.
+    width = 3
+
+    def __init__(self, n: int, seed: int = 0) -> None:
+        if n < 4:
+            raise ValueError("bursty multiplex needs n >= 4")
+        rng = random.Random(seed)
+        self.n = n
+        self.seed = seed
+        max_burst = max(2, n // 2)
+        self.bursts_a = [rng.randrange(0, max_burst + 1) for _ in range(n)]
+        self.members_b = tuple(range(0, n, 2))
+        self.bursts_b = [
+            rng.randrange(0, max_burst + 1) for _ in self.members_b
+        ]
+        # one channel packet per edge per round: width words + [ch, len]
+        # framing, two channels max on one physical edge.
+        self.capacity = 2 * (self.width + 2)
+
+    def _word(self, channel: int, sender: int, rnd: int, slot: int) -> int:
+        return ((channel * self.n + sender) * self.n + rnd % self.n) * self.width + slot
+
+    def _channel_factory(
+        self, channel_index: int, bursts: Sequence[int]
+    ) -> Callable[[Any], Generator]:
+        width = self.width
+        word = self._word
+        rounds_total = max(bursts) if bursts else 0
+
+        def factory(sub: Any) -> Generator:
+            def gen() -> Generator:
+                m = sub.n
+                me = sub.node_id
+                target = (me + 1) % m
+                got: List[int] = []
+                for r in range(rounds_total):
+                    outbox: Dict[int, Packet] = {}
+                    if r < bursts[me]:
+                        outbox[target] = Packet(
+                            tuple(word(channel_index, me, r, s) for s in range(width))
+                        )
+                    inbox = yield outbox
+                    for pkt in inbox.values():
+                        got.extend(pkt.words)
+                return sorted(got)
+
+            return gen()
+
+        return factory
+
+    def make_program(self) -> Callable[[NodeContext], Generator]:
+        channels = [
+            Channel(
+                "A", None, self._channel_factory(0, self.bursts_a), self.width
+            ),
+            Channel(
+                "B",
+                self.members_b,
+                self._channel_factory(1, self.bursts_b),
+                self.width,
+            ),
+        ]
+
+        def program(ctx: NodeContext) -> Generator:
+            outs = yield from multiplex(ctx, channels)
+            return outs
+
+        return program
+
+    def expected_outputs(self) -> List[List[Optional[List[int]]]]:
+        """Closed form for what every node must return, per channel."""
+        n = self.n
+        width = self.width
+        expected: List[List[Optional[List[int]]]] = [
+            [None, None] for _ in range(n)
+        ]
+        for j in range(n):
+            pred = (j - 1) % n
+            expected[j][0] = sorted(
+                self._word(0, pred, r, s)
+                for r in range(self.bursts_a[pred])
+                for s in range(width)
+            )
+        m = len(self.members_b)
+        for local_j, gid in enumerate(self.members_b):
+            local_pred = (local_j - 1) % m
+            expected[gid][1] = sorted(
+                self._word(1, local_pred, r, s)
+                for r in range(self.bursts_b[local_pred])
+                for s in range(width)
+            )
+        return expected
+
+    def verify(self, outputs: Sequence[Any]) -> None:
+        expected = self.expected_outputs()
+        for i, (got, want) in enumerate(zip(outputs, expected)):
+            if list(got) != want:
+                raise VerificationError(
+                    f"multiplex node {i}: channel outputs {got!r} != "
+                    f"expected {want!r}"
+                )
+
+    #: number of rounds the multiplexed run must take: channels advance in
+    #: lockstep, so the longer channel sets the pace (plus nothing else —
+    #: the multiplexer spends no extra rounds on framing).
+    @property
+    def expected_rounds(self) -> int:
+        return max(
+            max(self.bursts_a) if self.bursts_a else 0,
+            max(self.bursts_b) if self.bursts_b else 0,
+        )
+
+
+_BUILDERS: Dict[Tuple[str, str], Callable[[int, int], Any]] = {
+    ("routing", "balanced"): lambda n, seed: uniform_instance(n, seed=seed),
+    ("routing", "skewed"): lambda n, seed: block_skew_instance(n, seed=seed),
+    ("routing", "adversarial"): lambda n, seed: permutation_instance(
+        n, shift=1 + seed % max(1, n - 1)
+    ),
+    ("routing", "transpose"): lambda n, seed: transpose_instance(n),
+    ("routing", "bursty"): lambda n, seed: bursty_instance(n, seed=seed),
+    ("sorting", "uniform"): lambda n, seed: uniform_sort_instance(n, seed=seed),
+    ("sorting", "duplicates"): lambda n, seed: duplicate_heavy_instance(
+        n, seed=seed
+    ),
+    ("sorting", "presorted"): lambda n, seed: presorted_instance(n),
+    ("sorting", "reversed"): lambda n, seed: reversed_instance(n),
+    ("multiplex", "bursty"): lambda n, seed: BurstyMultiplexWorkload(n, seed),
+}
+
+
+def families(kind: str) -> List[str]:
+    """Family names available for one scenario kind."""
+    return sorted(f for k, f in _BUILDERS if k == kind)
+
+
+def scenario_matrix(
+    kind: str,
+    sizes: Iterable[int],
+    seeds: Iterable[int] = (0,),
+    only_families: Optional[Iterable[str]] = None,
+) -> List[Scenario]:
+    """Cross product of families x sizes x seeds for one kind."""
+    wanted = set(only_families) if only_families is not None else None
+    out = []
+    for family in families(kind):
+        if wanted is not None and family not in wanted:
+            continue
+        for n in sizes:
+            for seed in seeds:
+                out.append(Scenario(kind, family, n, seed))
+    return out
+
+
+def default_scenarios(quick: bool = True) -> List[Scenario]:
+    """The standard sweep: every family, square and non-square sizes.
+
+    ``quick=True`` is the CI smoke matrix; ``quick=False`` widens sizes and
+    seeds for a nightly-style sweep.  Sorting scenarios use perfect-square
+    sizes only (Algorithm 4's requirement).
+    """
+    if quick:
+        routing_sizes, sorting_sizes, seeds = [16, 20, 25], [16], (0,)
+    else:
+        routing_sizes, sorting_sizes, seeds = [16, 20, 25, 27, 36], [16, 25], (0, 1)
+    scenarios = scenario_matrix("routing", routing_sizes, seeds)
+    scenarios += scenario_matrix("sorting", sorting_sizes, seeds)
+    scenarios += scenario_matrix(
+        "multiplex", [s for s in routing_sizes if s >= 4], seeds
+    )
+    assert all(is_perfect_square(s) for s in sorting_sizes)
+    return scenarios
