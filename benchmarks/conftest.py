@@ -1,12 +1,52 @@
-"""Shared helpers for the experiment benches (E1-E12 in DESIGN.md).
+"""Shared helpers for the experiment benches (E1-E14 in DESIGN.md).
 
 Every bench measures *round counts* (the paper's cost metric) and asserts
 them against the theorem bounds, while pytest-benchmark records wall-clock
 simulation time as a secondary signal.  Tables are printed so ``pytest
 benchmarks/ --benchmark-only -s`` regenerates the EXPERIMENTS.md rows.
+
+Machine-readable results: the perf-tracking benches merge their rows into
+``BENCH_engines.json`` at the repository root via the :func:`bench_json`
+fixture, so the trajectory is comparable across PRs (CI uploads the file as
+a workflow artifact).
 """
 
+import json
+import pathlib
+
 import pytest
+
+#: Machine-readable benchmark results, one section per bench, at repo root.
+BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_engines.json"
+)
+
+
+def merge_bench_json(section: str, payload: dict) -> dict:
+    """Merge ``payload`` under ``section`` in ``BENCH_engines.json``.
+
+    Existing sections written by other benches are preserved, so running
+    any subset of the benches keeps the file coherent.  Returns the full
+    document as written.
+    """
+    doc = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            doc = json.loads(BENCH_JSON_PATH.read_text())
+        except (ValueError, OSError):
+            doc = {}
+    if not isinstance(doc, dict):
+        doc = {}
+    doc.setdefault("schema", 1)
+    doc[section] = payload
+    BENCH_JSON_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return doc
+
+
+@pytest.fixture
+def bench_json():
+    """Fixture handle on :func:`merge_bench_json`."""
+    return merge_bench_json
 
 
 @pytest.fixture

@@ -6,13 +6,17 @@ Public surface:
 * :class:`ExecutionEngine` and the :func:`get_engine` registry — pluggable
   round-loop drivers (:class:`ReferenceEngine`, :class:`FastEngine`).
 * :class:`Packet` and packing helpers — the message model.
+* The columnar wire data plane in :mod:`repro.core.wire` —
+  :class:`WireBatch`, :func:`fast_packet`, :class:`HeaderCodec`.
 * :class:`NodeContext` — the per-node execution environment.
+* :class:`PlanCache` / :func:`plan_cache` — the process-wide memoizer for
+  structural plans (colorings, partitions, header codecs).
 * :class:`GroupPartition` / :class:`OverlayDecomposition` — the paper's
   node-set partitions.
 * Piggyback and outbox-composition helpers in :mod:`repro.core.protocol`.
 """
 
-from .context import NodeContext, SharedCache
+from .context import NodeContext, PlanCache, SharedCache, plan_cache, planned
 from .engine import (
     ExecutionEngine,
     FastEngine,
@@ -53,6 +57,18 @@ from .protocol import (
     single_round,
     strip_piggyback,
 )
+from .wire import (
+    HeaderCodec,
+    WireBatch,
+    decode_columns,
+    encode_outbox,
+    fast_packet,
+    header_codec,
+    regroup_segments,
+    validate_columns,
+    validate_words,
+    word_bound,
+)
 from .topology import (
     GroupPartition,
     OverlayDecomposition,
@@ -76,6 +92,19 @@ __all__ = [
     "available_engines",
     "NodeContext",
     "SharedCache",
+    "PlanCache",
+    "plan_cache",
+    "planned",
+    "WireBatch",
+    "HeaderCodec",
+    "header_codec",
+    "fast_packet",
+    "encode_outbox",
+    "decode_columns",
+    "validate_columns",
+    "validate_words",
+    "word_bound",
+    "regroup_segments",
     "Packet",
     "packet",
     "bundle",

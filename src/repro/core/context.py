@@ -9,7 +9,7 @@ through messages.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from .errors import ProtocolError
 from .metrics import OperationMeter
@@ -39,7 +39,17 @@ class SharedCache:
         if key in self._store:
             self.hits += 1
             if self.verify_mode:
-                fresh = fn()
+                # The recompute must be genuine: shared computations may
+                # route through the process-wide plan cache, which would
+                # hand back the stored object and make this audit compare
+                # a value to itself.  Bypass it for the duration.
+                plans = _GLOBAL_PLAN_CACHE
+                was_enabled = plans.enabled
+                plans.enabled = False
+                try:
+                    fresh = fn()
+                finally:
+                    plans.enabled = was_enabled
                 if fresh != self._store[key]:
                     raise ProtocolError(
                         f"shared computation for key {key!r} is not "
@@ -50,6 +60,94 @@ class SharedCache:
         value = fn()
         self._store[key] = value
         return value
+
+
+class PlanCache:
+    """Process-level memoizer for *structural plans*, layered under
+    :class:`SharedCache`.
+
+    A plan is a pure function of structural inputs only — a Koenig coloring
+    of a demand matrix, a group partition of ``n`` nodes, a packed-header
+    codec for ``(n, load_bound)``.  Unlike the per-run :class:`SharedCache`
+    (which models the paper's "every node computes the same thing" argument
+    and is torn down with the run), plans recur *across* runs: scenario
+    sweeps, benchmark repeats and service-style batched workloads replay the
+    same ``n`` and the same demand structures over and over, and the setup
+    cost — dominated by the colorings — can be paid once per process.
+
+    Layering contract: algorithm code keeps calling
+    ``ctx.shared_compute(key, fn)`` so per-run hit/miss statistics (and the
+    engine-equivalence guarantees built on them) are untouched; only ``fn``
+    itself routes through :meth:`compute`.  On a shared-cache miss the plan
+    cache either replays the stored plan or computes and stores it.
+
+    Cached values are shared by reference across runs and therefore MUST be
+    treated as immutable by every consumer (all built-in plans are only ever
+    read).  ``verify_mode`` of the shared cache disables the plan cache
+    around its recomputation, so determinism audits genuinely re-run the
+    underlying computation even when the plan cache is warm.
+
+    The store is bounded: beyond ``maxsize`` entries the oldest plans are
+    evicted FIFO — long-lived services sweeping many distinct structures
+    cannot grow the cache without bound.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self._store: Dict[Hashable, Any] = {}
+        self.maxsize = maxsize
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+
+    def compute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
+        """Return the plan for ``key``, computing it with ``fn`` on a miss."""
+        if not self.enabled:
+            return fn()
+        store = self._store
+        try:
+            value = store[key]
+        except KeyError:
+            self.misses += 1
+            value = fn()
+            if len(store) >= self.maxsize:
+                store.pop(next(iter(store)))
+            store[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop every stored plan (statistics are kept)."""
+        self._store.clear()
+
+    def disable(self) -> None:
+        """Bypass the cache entirely (every compute calls ``fn``)."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def stats(self) -> Tuple[int, int, int]:
+        """``(hits, misses, size)`` — the perf counters the benches record."""
+        return self.hits, self.misses, len(self._store)
+
+
+#: The process-wide plan cache every algorithm layer routes its setup
+#: through.  Swap or clear it via :func:`plan_cache` in tests/benchmarks.
+_GLOBAL_PLAN_CACHE = PlanCache()
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide :class:`PlanCache` instance."""
+    return _GLOBAL_PLAN_CACHE
+
+
+def planned(key: Hashable, fn: Callable[[], Any]) -> Any:
+    """Shorthand for ``plan_cache().compute(key, fn)``."""
+    return _GLOBAL_PLAN_CACHE.compute(key, fn)
 
 
 class NodeContext:

@@ -38,7 +38,8 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Union
 
 from .context import NodeContext, SharedCache
 from .errors import ModelViolation, ProtocolError
-from .message import POLY_BOUND_EXPONENT, Packet, validate_packet
+from .message import Packet
+from .wire import WireBatch, validate_words, word_bound
 from .metrics import (
     MeterReport,
     OperationMeter,
@@ -85,10 +86,18 @@ def coerce_outbox(raw: Any, src: int, n: int) -> Dict[int, Packet]:
         )
     outbox: Dict[int, Packet] = {}
     for dst, pkt in raw.items():
-        if not isinstance(dst, int) or not 0 <= dst < n:
+        # Exact-type fast path first; isinstance fallback keeps int/Packet
+        # subclasses (and bool destinations, which are ints) accepted as
+        # before.
+        if not (
+            (dst.__class__ is int or isinstance(dst, int)) and 0 <= dst < n
+        ):
             raise ModelViolation(
                 f"node {src} addressed invalid destination {dst!r}"
             )
+        if pkt.__class__ is Packet:
+            outbox[dst] = pkt
+            continue
         if isinstance(pkt, tuple):
             pkt = Packet(pkt)
         if not isinstance(pkt, Packet):
@@ -214,6 +223,7 @@ class ReferenceEngine(ExecutionEngine):
         gens, outputs, done, pending_outbox = state.prime(
             program_factory, coerce_outbox
         )
+        batch = WireBatch()
 
         while not all(done):
             if stats.rounds >= net.max_rounds:
@@ -224,22 +234,27 @@ class ReferenceEngine(ExecutionEngine):
             if current_phase[0] is not None:
                 current_phase[0].rounds += 1
 
-            # Collect and audit this round's traffic.  Per-edge uniqueness
-            # is structural: each source's outbox is keyed by destination,
-            # so one packet per ordered pair per round is guaranteed here
-            # (concurrent activities merge through
+            # Collect this round's traffic into the columnar wire batch.
+            # Per-edge uniqueness is structural: each source's outbox is
+            # keyed by destination, so one packet per ordered pair per round
+            # is guaranteed here (concurrent activities merge through
             # :func:`repro.core.protocol.merge_outboxes`, which raises
-            # ``EdgeConflict`` on overlap).
-            inboxes: List[Dict[int, Packet]] = [{} for _ in range(n)]
-            any_traffic = False
+            # ``EdgeConflict`` on overlap).  Collection order — ascending
+            # source, outbox insertion order — is the audit and delivery
+            # order.
+            batch.clear()
             for src in range(n):
                 outbox = pending_outbox[src]
-                for dst, pkt in outbox.items():
-                    if net.validate:
-                        validate_packet(pkt, n, net.capacity)
-                    inboxes[dst][src] = pkt
-                    round_stats.record_packet(len(pkt))
-                    any_traffic = True
+                if outbox:
+                    batch.add_outbox(src, outbox)
+            if net.validate:
+                batch.validate(n, net.capacity)
+            inboxes: List[Dict[int, Packet]] = [{} for _ in range(n)]
+            packets, words, max_edge = batch.deliver(inboxes)
+            round_stats.packets = packets
+            round_stats.words = words
+            round_stats.max_words_on_edge = max_edge
+            any_traffic = packets > 0
             stats.commit_round(round_stats)
 
             # Deliver inboxes; collect next outboxes.
@@ -329,9 +344,10 @@ class FastEngine(ExecutionEngine):
         audit_all = validation == "full"
         audit_some = validation == "sampled"
         stride = self.sample_stride
-        word_bound = max(n, 2) ** POLY_BOUND_EXPONENT
+        bound = word_bound(n)
         per_round = stats.per_round
         seen = 0  # packets inspected so far, drives the sampling stride
+        audit_words = validate_words
 
         while live:
             rounds = stats.rounds
@@ -343,7 +359,12 @@ class FastEngine(ExecutionEngine):
             if span is not None:
                 span.rounds += 1
 
-            # Collect traffic into lazily-created mailboxes.
+            # One fused pass over the wire representation: flat payload
+            # tuples bucketed into lazily-created mailboxes (delivery moves
+            # references, never copies), with the hoisted-bound audit run
+            # inline on selected packets.  Destination typing is checked
+            # exactly per packet: a float like 1.0 hashes equal to a live
+            # node id, so set membership alone would silently deliver it.
             packets = 0
             words = 0
             max_edge = 0
@@ -354,9 +375,6 @@ class FastEngine(ExecutionEngine):
                     continue
                 for dst, pkt in outbox.items():
                     if dst.__class__ is not int and not isinstance(dst, int):
-                        # exact per-packet check: a float like 1.0 hashes
-                        # equal to a live node id, so set membership alone
-                        # would silently deliver it.
                         raise ModelViolation(
                             f"node {src} addressed invalid destination "
                             f"{dst!r}"
@@ -366,14 +384,16 @@ class FastEngine(ExecutionEngine):
                     except AttributeError:
                         pkt = self._coerce_packet(pkt, src, dst)
                         payload = pkt.words
-                    n_words = len(payload)
                     if audit_all or (audit_some and seen % stride == 0):
-                        if not isinstance(pkt, Packet):
+                        if (
+                            pkt.__class__ is not Packet
+                            and not isinstance(pkt, Packet)
+                        ):
                             raise ModelViolation(
                                 f"node {src} sent non-packet {pkt!r} to "
                                 f"{dst}"
                             )
-                        self._audit(pkt, payload, n, capacity, word_bound)
+                        audit_words(pkt, payload, n, capacity, bound)
                     seen += 1
                     box = inboxes.get(dst)
                     if box is None:
@@ -381,6 +401,7 @@ class FastEngine(ExecutionEngine):
                             self._bad_destination(src, dst, n, rounds)
                         box = inboxes[dst] = {}
                     box[src] = pkt
+                    n_words = len(payload)
                     packets += 1
                     words += n_words
                     if n_words > max_edge:
@@ -428,20 +449,6 @@ class FastEngine(ExecutionEngine):
         if isinstance(pkt, tuple):
             return Packet(pkt)
         raise ModelViolation(f"node {src} sent non-packet {pkt!r} to {dst}")
-
-    @staticmethod
-    def _audit(
-        pkt: Packet, payload: Any, n: int, capacity: int, bound: int
-    ) -> None:
-        """validate_packet with the magnitude bound precomputed per run."""
-        if len(payload) > capacity:
-            # Delegate for the canonical error message.
-            validate_packet(pkt, n, capacity)
-        for w in payload:
-            if not isinstance(w, int) or isinstance(w, bool):
-                validate_packet(pkt, n, capacity)
-            if not -bound < w < bound:
-                validate_packet(pkt, n, capacity)
 
     @staticmethod
     def _bad_destination(src: int, dst: Any, n: int, rounds: int) -> None:

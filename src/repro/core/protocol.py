@@ -20,6 +20,7 @@ from typing import Dict, Generator, Iterable, Optional, Tuple
 
 from .errors import EdgeConflict, ProtocolError
 from .message import Packet
+from .wire import fast_packet
 
 Outbox = Dict[int, Packet]
 Inbox = Dict[int, Packet]
@@ -32,14 +33,24 @@ def attach_piggyback(outbox: Outbox, word: int, n: int) -> Outbox:
     every recipient can recover ``word`` as the last word of the packet it
     received.  The caller is responsible for leaving one word of slack in the
     packet capacity during piggyback rounds.
+
+    Wire-level fast path: packet words are already tuples, so the appended
+    payload is built with one tuple concatenation and materialized through
+    :func:`~repro.core.wire.fast_packet`; all otherwise-unused edges share
+    one broadcast-only packet object (packets are immutable, and the engines
+    deliver by reference).
     """
     out: Outbox = {}
+    tail = (word,)
+    filler: Packet = None  # type: ignore[assignment]
     for dst in range(n):
         pkt = outbox.get(dst)
         if pkt is None:
-            out[dst] = Packet((word,))
+            if filler is None:
+                filler = fast_packet(tail)
+            out[dst] = filler
         else:
-            out[dst] = Packet(tuple(pkt.words) + (word,))
+            out[dst] = fast_packet(pkt.words + tail)
     return out
 
 
@@ -63,15 +74,16 @@ def strip_piggyback(inbox: Inbox) -> Tuple[Inbox, Dict[int, int]]:
     clean: Inbox = {}
     words: Dict[int, int] = {}
     for src, pkt in inbox.items():
-        if len(pkt.words) == 0:
+        payload = pkt.words
+        if not payload:
             raise ProtocolError(
                 f"piggyback round received an empty packet from node {src}; "
                 "attach_piggyback always carries at least the broadcast word"
             )
-        words[src] = pkt.words[-1]
-        rest = pkt.words[:-1]
+        words[src] = payload[-1]
+        rest = payload[:-1]
         if rest:
-            clean[src] = Packet(rest)
+            clean[src] = fast_packet(rest)
     return clean, words
 
 

@@ -85,6 +85,23 @@ def square_partition(n: int) -> GroupPartition:
     return GroupPartition(n=n, group_size=r)
 
 
+def square_groups(n: int) -> Tuple[Tuple[int, ...], ...]:
+    """Materialized member tuples of :func:`square_partition`, plan-cached.
+
+    Every program factory needs the same ``sqrt(n)`` tuples of member ids;
+    they are a pure function of ``n`` and recur across runs, so they live in
+    the process-wide :class:`~repro.core.context.PlanCache`.  The returned
+    structure is shared — treat it as immutable.
+    """
+    from .context import planned
+
+    def build() -> Tuple[Tuple[int, ...], ...]:
+        part = square_partition(n)
+        return tuple(tuple(part.members(g)) for g in part.groups())
+
+    return planned(("square_groups", n), build)
+
+
 @dataclass(frozen=True)
 class OverlayDecomposition:
     """Theorem 3.7's decomposition for non-square ``n``.

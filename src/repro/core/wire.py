@@ -1,0 +1,365 @@
+"""The columnar wire data plane: flat per-round traffic buffers.
+
+:class:`~repro.core.message.Packet` stays the *user-facing* unit of
+communication — protocols yield and receive ``{dst: Packet}`` mappings — but
+internally the engines exchange each round's traffic in *columnar* form:
+three parallel flat buffers ``(srcs, dsts, payloads)`` plus the packet
+references themselves.  The flat representation enables
+
+* **batched validation** — the polynomial word bound is computed once per
+  round and the audit runs as one tight loop over the payload column instead
+  of one :func:`~repro.core.message.validate_packet` call per packet (the
+  canonical per-packet function is still delegated to on failure so error
+  types and messages are byte-identical);
+* **bucketed delivery** — inboxes are assembled by bucketing the columns by
+  destination, preserving the exact source order the reference semantics
+  prescribe;
+* **forwarding by reference** — a relay that moves a whole packet unchanged
+  (the dominant operation in the Lenzen router: intermediates simply pass
+  segments along) re-uses the sender's ``Packet`` object and its words tuple
+  instead of re-tupling the payload on every hop
+  (:func:`regroup_segments`);
+* **lazy packet materialization** — when a new ``Packet`` must exist at the
+  protocol boundary, :func:`fast_packet` builds it without the dataclass
+  ``__init__``/``__post_init__`` machinery (the words are already tuples on
+  the wire, so the defensive re-tupling is skipped).
+
+The module also owns :class:`HeaderCodec`, the memoized pack/unpack table
+for ``(source, dest, seq)`` message headers; codecs are structural plans and
+live in the process-wide :class:`~repro.core.context.PlanCache`.
+
+Everything here is *semantics-preserving*: outputs, round counts, per-round
+traffic statistics and error behavior match the packet-at-a-time code path
+(the engine-equivalence and differential-fuzz suites enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .context import planned
+from .errors import ProtocolError
+from .message import (
+    POLY_BOUND_EXPONENT,
+    Packet,
+    pack_triple,
+    unpack_triple,
+    validate_packet,
+)
+
+__all__ = [
+    "fast_packet",
+    "WireBatch",
+    "encode_outbox",
+    "decode_columns",
+    "bad_segment_width",
+    "validate_words",
+    "validate_columns",
+    "word_bound",
+    "regroup_segments",
+    "HeaderCodec",
+    "header_codec",
+]
+
+_new_packet = Packet.__new__
+_set_attr = object.__setattr__
+
+
+def fast_packet(words: Tuple[int, ...]) -> Packet:
+    """Materialize a :class:`Packet` around an existing words tuple.
+
+    The dataclass constructor re-checks and re-tuples its argument on every
+    call; on the wire the words are tuples already, so the protocol boundary
+    can materialize packets without that overhead.  ``words`` MUST be a
+    tuple of ints — callers on the hot path guarantee this structurally.
+    """
+    pkt = _new_packet(Packet)
+    _set_attr(pkt, "words", words)
+    return pkt
+
+
+def word_bound(n: int) -> int:
+    """The polynomial magnitude bound ``max(n, 2) ** k``, hoisted per round."""
+    return max(n, 2) ** POLY_BOUND_EXPONENT
+
+
+def bad_segment_width(n_words: int, seg: int) -> ProtocolError:
+    """The canonical ragged-packet error (single source of the message).
+
+    Segment consumers keep their split loops inlined for speed; they share
+    this constructor so the wire format's error text cannot drift between
+    the relay path and the receiver path.
+    """
+    return ProtocolError(
+        f"packet of {n_words} words is not a multiple of segment "
+        f"width {seg}"
+    )
+
+
+def encode_outbox(
+    outbox: Dict[int, Packet],
+) -> Tuple[List[int], List[Tuple[int, ...]]]:
+    """Encode one outbox into columnar ``(dsts, payloads)`` buffers.
+
+    Together with :func:`decode_columns` this is the *boundary codec* of
+    the columnar representation — the pair the property suite holds to the
+    round-trip-identity contract and the entry point for external tooling;
+    the engines themselves exchange traffic through :class:`WireBatch`.
+    """
+    dsts: List[int] = []
+    payloads: List[Tuple[int, ...]] = []
+    for dst, pkt in outbox.items():
+        dsts.append(dst)
+        payloads.append(pkt.words)
+    return dsts, payloads
+
+
+def decode_columns(
+    dsts: Sequence[int], payloads: Sequence[Tuple[int, ...]]
+) -> Dict[int, Packet]:
+    """Inverse of :func:`encode_outbox`: rebuild the ``{dst: Packet}`` view."""
+    if len(dsts) != len(payloads):
+        raise ProtocolError(
+            f"columnar buffers disagree: {len(dsts)} destinations vs "
+            f"{len(payloads)} payloads"
+        )
+    return {
+        dst: fast_packet(tuple(words))
+        for dst, words in zip(dsts, payloads)
+    }
+
+
+def validate_words(
+    pkt: Optional[Packet],
+    words: Tuple[int, ...],
+    n: int,
+    capacity: int,
+    bound: int,
+) -> None:
+    """Audit one payload with the magnitude ``bound`` precomputed.
+
+    The single source of the hoisted-bound audit semantics: checks exactly
+    what :func:`~repro.core.message.validate_packet` checks — word count,
+    integer-ness, polynomial magnitude.  On anything but a plain in-range
+    int the canonical validator is re-run, so it raises — or, for benign
+    exotica like an in-range int subclass, passes — with the
+    packet-at-a-time error types and messages.
+    """
+    if len(words) > capacity:
+        validate_packet(
+            pkt if pkt is not None else fast_packet(words), n, capacity
+        )
+    neg_bound = -bound
+    for w in words:
+        # Exact-type fast path: a plain int inside the bound is valid.
+        if w.__class__ is int and neg_bound < w < bound:
+            continue
+        validate_packet(
+            pkt if pkt is not None else fast_packet(words), n, capacity
+        )
+        # The canonical validator passed (benign exotica, e.g. an in-range
+        # int subclass) — and it already judged every word, so stop here.
+        return
+
+
+def validate_columns(
+    payloads: Sequence[Tuple[int, ...]],
+    n: int,
+    capacity: int,
+    packets: Optional[Sequence[Packet]] = None,
+) -> None:
+    """Batched model audit over a payload column.
+
+    :func:`validate_words` applied to every payload, with the bound computed
+    once for the whole batch.
+    """
+    bound = word_bound(n)
+    for i, words in enumerate(payloads):
+        validate_words(
+            packets[i] if packets is not None else None,
+            words,
+            n,
+            capacity,
+            bound,
+        )
+
+
+class WireBatch:
+    """One round's traffic in columnar form.
+
+    Parallel flat buffers: ``srcs[i]``, ``dsts[i]``, ``packets[i]`` and
+    ``payloads[i]`` describe the ``i``-th packet of the round in global
+    collection order (ascending source, each source's outbox in insertion
+    order) — exactly the order the reference engine audits and delivers in.
+    """
+
+    __slots__ = ("srcs", "dsts", "packets", "payloads")
+
+    def __init__(self) -> None:
+        self.srcs: List[int] = []
+        self.dsts: List[int] = []
+        self.packets: List[Packet] = []
+        self.payloads: List[Tuple[int, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def add_outbox(self, src: int, outbox: Dict[int, Packet]) -> None:
+        """Append every packet of one source's outbox to the columns."""
+        srcs = self.srcs
+        dsts = self.dsts
+        packets = self.packets
+        payloads = self.payloads
+        for dst, pkt in outbox.items():
+            srcs.append(src)
+            dsts.append(dst)
+            packets.append(pkt)
+            payloads.append(pkt.words)
+
+    def validate(self, n: int, capacity: int) -> None:
+        """Batched audit of the whole round (see :func:`validate_columns`)."""
+        validate_columns(self.payloads, n, capacity, self.packets)
+
+    def deliver(
+        self, inboxes: List[Dict[int, Packet]]
+    ) -> Tuple[int, int, int]:
+        """Bucket the columns into per-destination inboxes.
+
+        Mutates ``inboxes`` in place (one dict per node) and returns the
+        round's aggregate traffic statistics ``(packets, words, max_edge)``.
+        Packets are moved by reference — the object a protocol receives is
+        the object its peer sent.
+        """
+        words_total = 0
+        max_edge = 0
+        for src, dst, pkt, words in zip(
+            self.srcs, self.dsts, self.packets, self.payloads
+        ):
+            inboxes[dst][src] = pkt
+            n_words = len(words)
+            words_total += n_words
+            if n_words > max_edge:
+                max_edge = n_words
+        return len(self.packets), words_total, max_edge
+
+    def clear(self) -> None:
+        self.srcs.clear()
+        self.dsts.clear()
+        self.packets.clear()
+        self.payloads.clear()
+
+
+def regroup_segments(
+    inbox: Dict[int, Packet], seg: Optional[int]
+) -> Dict[int, Packet]:
+    """Relay fast path: regroup ``(dest, *item)`` segments by destination.
+
+    This is the intermediate hop of Corollary 3.3 (``route_known``): every
+    received packet is a concatenation of fixed-width segments (``seg`` words
+    each, ``None`` = one variable-width segment) whose first word names the
+    final destination.  Segments are regrouped by destination in ascending
+    source order.
+
+    Forward-by-reference: when every segment of an incoming packet names one
+    destination and no other source contributes to it, the packet object is
+    forwarded untouched — no words are copied.  Mixed packets fall back to
+    concatenating the segment tuples (still through :func:`fast_packet`, so
+    no dataclass overhead and no re-tupling of the word values).
+    """
+    whole: Dict[int, Packet] = {}  # dest -> reusable packet (fast path)
+    parts: Dict[int, List[int]] = {}  # dest -> accumulated words
+    for src in sorted(inbox):
+        pkt = inbox[src]
+        words = pkt.words
+        if not words:
+            continue
+        if seg is None:
+            dest = words[0]
+            single_dest: Optional[int] = dest
+        else:
+            if len(words) % seg != 0:
+                raise bad_segment_width(len(words), seg)
+            dest = words[0]
+            single_dest = dest
+            for i in range(seg, len(words), seg):
+                if words[i] != dest:
+                    single_dest = None
+                    break
+        if (
+            single_dest is not None
+            and single_dest not in whole
+            and single_dest not in parts
+        ):
+            whole[single_dest] = pkt  # forward the packet by reference
+            continue
+        # Slow path: merge into the destination's word accumulator (pulling
+        # in any previously whole-forwarded packet for the same dest).
+        if seg is None:
+            segments = [(words[0], words)]
+        else:
+            segments = [
+                (words[i], words[i : i + seg])
+                for i in range(0, len(words), seg)
+            ]
+        for dest, seg_words in segments:
+            acc = parts.get(dest)
+            if acc is None:
+                prev = whole.pop(dest, None)
+                acc = parts[dest] = (
+                    list(prev.words) if prev is not None else []
+                )
+            acc.extend(seg_words)
+    out: Dict[int, Packet] = {}
+    for dest, pkt in whole.items():
+        out[dest] = pkt
+    for dest, acc in parts.items():
+        out[dest] = fast_packet(tuple(acc))
+    return out
+
+
+class HeaderCodec:
+    """Memoized pack/unpack arithmetic for ``(source, dest, seq)`` headers.
+
+    The Lenzen wire format tags every message with one packed header word,
+    ``((source * base) + dest) * base + seq``.  :meth:`pack`/:meth:`unpack`
+    delegate to the canonical :func:`~repro.core.message.pack_triple` /
+    :func:`~repro.core.message.unpack_triple` with the base pre-bound;
+    routing touches the header of every message on every hop — usually only
+    to extract the destination — so the codec additionally offers the
+    partial :meth:`dest_of` that skips materializing the full triple.
+
+    Codecs are pure functions of ``base`` and are plan-cached; fetch them
+    via :func:`header_codec`.
+    """
+
+    __slots__ = ("base", "_base_sq")
+
+    def __init__(self, base: int) -> None:
+        if base < 1:
+            raise ValueError("header base must be >= 1")
+        self.base = base
+        self._base_sq = base * base
+
+    def pack(self, source: int, dest: int, seq: int) -> int:
+        return pack_triple(source, dest, seq, self.base)
+
+    def unpack(self, word: int) -> Tuple[int, int, int]:
+        return unpack_triple(word, self.base)
+
+    def dest_of(self, word: int) -> int:
+        """The ``dest`` field alone — the router's per-hop question."""
+        return (word // self.base) % self.base
+
+    def source_of(self, word: int) -> int:
+        return word // self._base_sq
+
+    def seq_of(self, word: int) -> int:
+        return word % self.base
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HeaderCodec(base={self.base})"
+
+
+def header_codec(base: int) -> HeaderCodec:
+    """The plan-cached :class:`HeaderCodec` for ``base``."""
+    return planned(("header_codec", base), lambda: HeaderCodec(base))

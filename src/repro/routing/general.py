@@ -28,7 +28,8 @@ from ..core.errors import ProtocolError
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
 from ..core.topology import OverlayDecomposition, is_perfect_square
-from .lenzen import WireMsg, _unwire, _wire, header_base, lenzen_wire_program
+from ..core.wire import fast_packet, header_codec
+from .lenzen import WireMsg, _unwire, header_base, lenzen_wire_program
 from .multiplex import Channel, SubContext, multiplex
 from .primitives import route_unknown
 from .problem import Message, RoutingInstance
@@ -73,9 +74,10 @@ def _cross_program(
 
     def factory(sub: SubContext) -> Generator:
         me = sub.node_id
+        dest_word = header_codec(hbase).dest_of
 
         def dest_of(w: Tuple[int, ...]) -> int:
-            return (w[0] // hbase) % hbase
+            return dest_word(w[0])
 
         def program() -> Generator:
             held = sorted(my_wire[me])
@@ -83,7 +85,7 @@ def _cross_program(
             sub.enter_phase("cross.scatter")
             outbox: Dict[int, Packet] = {}
             for j, w in enumerate(held):
-                outbox[j] = Packet(w)
+                outbox[j] = fast_packet(w)
             inbox = yield outbox
             received = sorted(tuple(p.words) for p in inbox.values())
 
@@ -99,9 +101,9 @@ def _cross_program(
                 )
             outbox = {}
             for k, w in enumerate(for_low):
-                outbox[low[k]] = Packet(w)
+                outbox[low[k]] = fast_packet(w)
             for k, w in enumerate(for_high):
-                outbox[high[k]] = Packet(w)
+                outbox[high[k]] = fast_packet(w)
             inbox = yield outbox
             held = sorted(tuple(p.words) for p in inbox.values())
 
@@ -154,6 +156,9 @@ def lenzen_general_program(
     sub_hbase = header_base(m, load_bound)
     cross_hbase = header_base(n, load_bound)
 
+    sub_pack = header_codec(sub_hbase).pack  # hoisted codecs, one per base
+    cross_pack = header_codec(cross_hbase).pack
+
     wire_v1: List[List[WireMsg]] = [[] for _ in range(m)]
     wire_v2: List[List[WireMsg]] = [[] for _ in range(m)]
     wire_cross: List[List[WireMsg]] = [[] for _ in range(n)]
@@ -161,17 +166,22 @@ def lenzen_general_program(
         for msg in msgs:
             side = overlay.classify_pair(msg.source, msg.dest)
             if side == "v1":
-                wire_v1[msg.source].append(_wire(msg, sub_hbase))
-            elif side == "v2":
-                translated = Message(
-                    source=msg.source - off2,
-                    dest=msg.dest - off2,
-                    seq=msg.seq,
-                    payload=msg.payload,
+                wire_v1[msg.source].append(
+                    (sub_pack(msg.source, msg.dest, msg.seq), msg.payload)
                 )
-                wire_v2[msg.source - off2].append(_wire(translated, sub_hbase))
+            elif side == "v2":
+                wire_v2[msg.source - off2].append(
+                    (
+                        sub_pack(
+                            msg.source - off2, msg.dest - off2, msg.seq
+                        ),
+                        msg.payload,
+                    )
+                )
             else:
-                wire_cross[msg.source].append(_wire(msg, cross_hbase))
+                wire_cross[msg.source].append(
+                    (cross_pack(msg.source, msg.dest, msg.seq), msg.payload)
+                )
 
     channels = [
         Channel(

@@ -39,17 +39,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Generator, List, Sequence, Tuple
 
-from ..core.context import NodeContext
+from ..core.context import NodeContext, planned
 from ..core.engine import EngineSpec
 from ..core.errors import ProtocolError
-from ..core.message import Packet, unpack_triple
+from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
-from ..core.topology import square_partition
+from ..core.topology import square_groups, square_partition
+from ..core.wire import header_codec
 from ..graphtools.coloring import koenig_edge_coloring
 from ..graphtools.multigraph import BipartiteMultigraph, pad_to_regular
-from .lenzen import WireMsg, _send_bundled, _unwire, _wire, header_base
+from .lenzen import WireMsg, _send_bundled, header_base
 from .primitives import broadcast_word, route_unknown
-from .problem import RoutingInstance
+from .problem import Message, RoutingInstance
 
 #: Paper round budget (Theorem 5.4).
 ROUNDS_OPTIMIZED = 12
@@ -67,7 +68,18 @@ def _super_classes(
     bundle of ``n`` messages).  The graph has at most ``n`` edges and degree
     at most ``sqrt(n)``, is padded to regular and Koenig-colored; class ``c``
     ships through intermediate group ``c mod s``.
+
+    Pure in ``(totals, n)`` (``s = sqrt(n)``), so plan-cached across runs;
+    the shared result must not be mutated.
     """
+    return planned(
+        ("super_classes", totals, n), lambda: _super_classes_impl(totals, n, s)
+    )
+
+
+def _super_classes_impl(
+    totals: Tuple[Tuple[int, ...], ...], n: int, s: int
+) -> Dict[Tuple[int, int], List[int]]:
     graph = BipartiteMultigraph(s, s)
     for g in range(s):
         for g2 in range(s):
@@ -134,10 +146,15 @@ def optimized_program(
     n = instance.n
     part = square_partition(n)
     s = part.group_size
-    groups = tuple(tuple(part.members(g)) for g in part.groups())
+    groups = square_groups(n)
     hbase = header_base(n, instance.max_load)
+    codec = header_codec(hbase)
+    pack = codec.pack
     wire_messages = [
-        sorted(_wire(m, hbase) for m in instance.messages_by_source[i])
+        sorted(
+            (pack(m.source, m.dest, m.seq), m.payload)
+            for m in instance.messages_by_source[i]
+        )
         for i in range(n)
     ]
 
@@ -148,11 +165,13 @@ def optimized_program(
         held: List[WireMsg] = list(wire_messages[me])
         ctx.observe_live_words(2 * len(held))
 
+        codec_dest = codec.dest_of
+
         def dest_of(w: Sequence[int]) -> int:
-            return unpack_triple(w[0], hbase)[1]
+            return codec_dest(w[0])
 
         def dgroup(w: Sequence[int]) -> int:
-            return dest_of(w) // s
+            return codec_dest(w[0]) // s
 
         # ---- A1/A2: group-to-group totals (2 rounds). ----------------------
         ctx.enter_phase("opt.totals")
@@ -244,7 +263,10 @@ def optimized_program(
         delivered = yield from route_unknown(
             ctx, groups, g, r, items, ("optC", g), item_width=2
         )
-        final = [_unwire(it, hbase) for it in delivered]
+        unpack = codec.unpack
+        final = [
+            Message(*unpack(it[0]), payload=it[1]) for it in delivered
+        ]
         if any(m.dest != me for m in final):
             raise ProtocolError("Section 5 delivered a foreign message")
         ctx.observe_live_words(2 * len(final))

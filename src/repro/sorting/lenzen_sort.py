@@ -37,10 +37,10 @@ from ..core.engine import EngineSpec
 from ..core.errors import InvalidInstance, ProtocolError
 from ..core.message import Packet
 from ..core.network import CongestedClique, RunResult
-from ..core.topology import is_perfect_square, square_partition
-from ..routing.lenzen import _wire, header_base, lenzen_wire_program
+from ..core.topology import is_perfect_square, square_groups, square_partition
+from ..core.wire import header_codec
+from ..routing.lenzen import header_base, lenzen_wire_program
 from ..routing.primitives import route_known
-from ..routing.problem import Message
 from .problem import SortInstance
 from .subset_sort import KEYS_PER_ITEM, _announce_sentinel, subset_sort
 
@@ -63,9 +63,7 @@ def lenzen_sort_program(
         raise InvalidInstance("Algorithm 4 requires perfect-square n")
     part = square_partition(n)
     s = part.group_size
-    groups: Tuple[Tuple[int, ...], ...] = tuple(
-        tuple(part.members(g)) for g in part.groups()
-    )
+    groups: Tuple[Tuple[int, ...], ...] = square_groups(n)
     tagged = instance.tagged_by_node()
     codec = instance.codec
     # Step-6 wire table: one slot per node, each filled by its own program
@@ -74,6 +72,7 @@ def lenzen_sort_program(
     # Step-6 routing: up to 2n messages per node (two packed keys each).
     route_load = 2 * n
     hbase = header_base(n, route_load)
+    pack_header = header_codec(hbase).pack  # hoisted: one codec per factory
 
     def program(ctx: NodeContext) -> Generator:
         me = ctx.node_id
@@ -169,11 +168,7 @@ def lenzen_sort_program(
                     if len(pair) == 1:
                         pair.append(sentinel)
                     payload = pair[0] * (sentinel + 1) + pair[1]
-                    wire_msgs.append(
-                        _wire(
-                            Message(me, dest, seq, payload), hbase
-                        )
-                    )
+                    wire_msgs.append((pack_header(me, dest, seq), payload))
                     seq += 1
         if seq > route_load:
             raise ProtocolError(
