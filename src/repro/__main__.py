@@ -48,6 +48,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "Demo of Lenzen (PODC 2013) routing and sorting on a simulated "
             "congested clique."
         ),
+        epilog=(
+            "For batched throughput over many instances, see "
+            "`python -m repro.service`; for the differential scenario "
+            "sweep, `python -m repro.scenarios`."
+        ),
     )
     parser.add_argument(
         "n", nargs="?", type=int, default=25,

@@ -21,6 +21,8 @@ from .engine import (
     ExecutionEngine,
     FastEngine,
     ReferenceEngine,
+    RunRequest,
+    RunSummary,
     available_engines,
     get_engine,
     register_engine,
@@ -83,6 +85,8 @@ __all__ = [
     "CongestedClique",
     "NodeGen",
     "RunResult",
+    "RunRequest",
+    "RunSummary",
     "run_protocol",
     "ExecutionEngine",
     "ReferenceEngine",

@@ -9,7 +9,10 @@ through messages.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+import contextvars
+import pickle
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
 
 from .errors import ProtocolError
 from .metrics import OperationMeter
@@ -42,14 +45,12 @@ class SharedCache:
                 # The recompute must be genuine: shared computations may
                 # route through the process-wide plan cache, which would
                 # hand back the stored object and make this audit compare
-                # a value to itself.  Bypass it for the duration.
-                plans = _GLOBAL_PLAN_CACHE
-                was_enabled = plans.enabled
-                plans.enabled = False
-                try:
+                # a value to itself.  The bypass is *scoped* — flipping the
+                # cache's global ``enabled`` flag here would be observable
+                # by (and clobbered by) any other run interleaved with this
+                # one; see :meth:`PlanCache.bypassed`.
+                with _GLOBAL_PLAN_CACHE.bypassed():
                     fresh = fn()
-                finally:
-                    plans.enabled = was_enabled
                 if fresh != self._store[key]:
                     raise ProtocolError(
                         f"shared computation for key {key!r} is not "
@@ -89,7 +90,15 @@ class PlanCache:
 
     The store is bounded: beyond ``maxsize`` entries the oldest plans are
     evicted FIFO — long-lived services sweeping many distinct structures
-    cannot grow the cache without bound.
+    cannot grow the cache without bound.  ``evictions`` counts the plans
+    dropped this way.
+
+    Determinism audits must *not* toggle ``enabled``: that flag is process
+    state, so one run flipping it is visible to every interleaved or
+    concurrent run.  Use :meth:`bypassed` instead — a re-entrant, scope-local
+    bypass carried in a :mod:`contextvars` variable, so it covers exactly the
+    dynamic extent of the ``with`` block in the calling thread/task and
+    nothing else.
     """
 
     def __init__(self, maxsize: int = 4096) -> None:
@@ -98,10 +107,11 @@ class PlanCache:
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def compute(self, key: Hashable, fn: Callable[[], Any]) -> Any:
         """Return the plan for ``key``, computing it with ``fn`` on a miss."""
-        if not self.enabled:
+        if not self.enabled or id(self) in _BYPASSED_CACHES.get():
             return fn()
         store = self._store
         try:
@@ -111,10 +121,63 @@ class PlanCache:
             value = fn()
             if len(store) >= self.maxsize:
                 store.pop(next(iter(store)))
+                self.evictions += 1
             store[key] = value
             return value
         self.hits += 1
         return value
+
+    @contextmanager
+    def bypassed(self) -> Iterator["PlanCache"]:
+        """Scoped cache bypass: within the block every :meth:`compute` *on
+        this cache* in the current thread/task calls ``fn`` directly,
+        without reading or writing the store or the counters.
+
+        Re-entrant (nesting just stacks the id again; the token reset pops
+        exactly one level) and invisible to other caches, other threads,
+        and code outside the block — unlike mutating ``enabled``, which is
+        process-global state.
+        """
+        token = _BYPASSED_CACHES.set(_BYPASSED_CACHES.get() + (id(self),))
+        try:
+            yield self
+        finally:
+            _BYPASSED_CACHES.reset(token)
+
+    def snapshot(self) -> Dict[Hashable, Any]:
+        """Picklable copy of the store, for warming another process.
+
+        Entries that do not survive :mod:`pickle` (none of the built-in
+        plans, but custom algorithms may cache anything hashable-keyed) are
+        silently skipped — a warmup must never make shipping the batch
+        fail.
+        """
+        out: Dict[Hashable, Any] = {}
+        for key, value in self._store.items():
+            try:
+                pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                continue
+            out[key] = value
+        return out
+
+    def warm(self, plans: Dict[Hashable, Any]) -> int:
+        """Install prefetched plans; returns how many were adopted.
+
+        Existing entries win (a warm cache is never clobbered) and the
+        ``maxsize`` bound is respected.  Counters are untouched: warming is
+        provisioning, not traffic.
+        """
+        store = self._store
+        adopted = 0
+        for key, value in plans.items():
+            if len(store) >= self.maxsize:
+                break
+            if key in store:
+                continue
+            store[key] = value
+            adopted += 1
+        return adopted
 
     def __len__(self) -> int:
         return len(self._store)
@@ -134,6 +197,16 @@ class PlanCache:
         """``(hits, misses, size)`` — the perf counters the benches record."""
         return self.hits, self.misses, len(self._store)
 
+
+#: Scope-local stack of bypassed cache ids for :meth:`PlanCache.bypassed`.
+#: A contextvar — not an attribute on the cache — so concurrent
+#: threads/tasks each see only their own bypasses; ids — not a bare depth —
+#: so bypassing one cache never affects another instance.  (The context
+#: manager holds a reference to its cache, so an id cannot be recycled
+#: while it is on the stack.)
+_BYPASSED_CACHES: contextvars.ContextVar[Tuple[int, ...]] = (
+    contextvars.ContextVar("plan_cache_bypassed_ids", default=())
+)
 
 #: The process-wide plan cache every algorithm layer routes its setup
 #: through.  Swap or clear it via :func:`plan_cache` in tests/benchmarks.

@@ -76,6 +76,64 @@ class RunResult:
         return self.stats.phase_table()
 
 
+@dataclass(frozen=True)
+class RunRequest:
+    """Picklable description of one execution in a batched workload.
+
+    This is the wire envelope of the batch-execution service
+    (:mod:`repro.service`): a *coordinate*, not live objects, so it crosses
+    process boundaries and can be replayed deterministically.  The scenario
+    layer resolves ``(kind, family, n, seed)`` to a concrete workload and
+    ``algorithm``/``engine`` to registered implementations.  ``None`` means
+    "the kind's default algorithm" / "the simulator's default engine" (the
+    fully-audited reference engine, as for ``get_engine(None)``) — note
+    the batch service stamps its own engine default onto unset requests
+    before execution.
+    """
+
+    kind: str
+    family: str
+    n: int
+    seed: int = 0
+    algorithm: Optional[str] = None
+    #: engine *name* (registry key) — instances are not picklable.
+    engine: Optional[str] = None
+    #: free-form correlation id echoed back on the summary.
+    tag: str = ""
+
+    @property
+    def name(self) -> str:
+        algo = self.algorithm or "default"
+        return (
+            f"{self.kind}/{self.family}[n={self.n},seed={self.seed}]"
+            f"@{algo}"
+        )
+
+
+@dataclass
+class RunSummary:
+    """Picklable digest of one :class:`RunResult`, judged and timed.
+
+    What the batch service streams back instead of the full result: outputs
+    are collapsed to a canonical digest (full per-node outputs of a large
+    batch would dwarf the traffic they summarize), statistics are flattened
+    to scalars, and verification/bound failures are carried as ``error``.
+    """
+
+    request: RunRequest
+    ok: bool
+    engine: str = ""
+    rounds: int = 0
+    total_packets: int = 0
+    total_words: int = 0
+    max_edge_words: int = 0
+    digest: str = ""
+    wall_s: float = 0.0
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
+    error: str = ""
+
+
 def coerce_outbox(raw: Any, src: int, n: int) -> Dict[int, Packet]:
     """Normalize a yielded outbox and check addressing."""
     if raw is None:
@@ -425,7 +483,9 @@ class FastEngine(ExecutionEngine):
                     pending[i] = _EMPTY_OUTBOX
                     any_finished = True
                 else:
-                    pending[i] = raw if type(raw) is dict else coerce(raw, i, n)
+                    # The copy in coerce() (snapshot-at-yield) is load-bearing:
+                    # see _coerce_fast.
+                    pending[i] = coerce(raw, i, n)
             if any_finished:
                 live = [i for i in live if gens[i] is not None]
                 live_set = set(live)
@@ -434,14 +494,18 @@ class FastEngine(ExecutionEngine):
 
     @staticmethod
     def _coerce_fast(raw: Any, src: int, n: int) -> Dict[int, Packet]:
-        """Trusting outbox coercion: dicts pass through untouched.
+        """Trusting outbox coercion: dicts are shallow-copied, not validated.
 
         The traffic loop re-checks destinations exactly on every packet and
         audits packet values per the validation mode, so the per-yield cost
-        here is one ``type`` check.
+        here is one ``type`` check plus a C-level ``dict`` copy.  The copy is
+        what pins down the yield-time snapshot semantics of the reference
+        engine: a protocol that mutates or reuses its outbox dict after
+        ``yield`` (or shares one dict object across nodes) must not be able
+        to retroactively change what was sent.
         """
         if type(raw) is dict:
-            return raw
+            return dict(raw)
         return coerce_outbox(raw, src, n)
 
     @staticmethod

@@ -16,11 +16,14 @@ Smoke-run the default matrix from the command line::
 """
 
 from .generators import (
+    DEFAULT_MIX,
     KINDS,
     BurstyMultiplexWorkload,
     Scenario,
     default_scenarios,
     families,
+    mixed_batch,
+    parse_mix,
     scenario_matrix,
 )
 from .runner import (
@@ -30,16 +33,20 @@ from .runner import (
     ScenarioOutcome,
     ScenarioRunner,
     algorithms,
+    default_algorithm,
     output_digest,
     register_algorithm,
 )
 
 __all__ = [
+    "DEFAULT_MIX",
     "KINDS",
     "Scenario",
     "BurstyMultiplexWorkload",
     "default_scenarios",
     "families",
+    "mixed_batch",
+    "parse_mix",
     "scenario_matrix",
     "ScenarioRunner",
     "ScenarioOutcome",
@@ -47,6 +54,7 @@ __all__ = [
     "AlgorithmSpec",
     "ALGORITHMS",
     "algorithms",
+    "default_algorithm",
     "register_algorithm",
     "output_digest",
 ]

@@ -252,6 +252,97 @@ def scenario_matrix(
     return out
 
 
+#: Default composition of a batched-service workload: a weighted blend of
+#: the routing families the paper optimizes for, the two interesting sort
+#: families, and multiplexed traffic.  Weights are relative frequencies.
+DEFAULT_MIX = (
+    "routing/balanced:3,routing/skewed:2,routing/adversarial:1,"
+    "sorting/uniform:2,sorting/duplicates:1,multiplex/bursty:1"
+)
+
+
+def parse_mix(spec: str) -> List[Tuple[str, str, int]]:
+    """Parse a ``kind/family:weight`` mix spec into ``(kind, family, w)``.
+
+    Entries are comma-separated; ``:weight`` is optional (default 1) and
+    must be a positive integer.  Families are validated against the
+    taxonomy.  Example: ``"routing/balanced:3,sorting/uniform"``.
+    """
+    out: List[Tuple[str, str, int]] = []
+    for raw_entry in spec.split(","):
+        entry = raw_entry.strip()
+        if not entry:
+            continue
+        coord, _, weight_s = entry.partition(":")
+        kind, sep, family = coord.partition("/")
+        kind, family = kind.strip(), family.strip()
+        if not sep or (kind, family) not in _BUILDERS:
+            known = ", ".join(f"{k}/{f}" for k, f in sorted(_BUILDERS))
+            raise ValueError(
+                f"bad mix entry {entry!r}: want kind/family[:weight] with "
+                f"a known family ({known})"
+            )
+        try:
+            weight = int(weight_s) if weight_s else 1
+        except ValueError:
+            weight = 0
+        if weight < 1:
+            raise ValueError(
+                f"bad mix entry {entry!r}: weight must be a positive integer"
+            )
+        out.append((kind, family, weight))
+    if not out:
+        raise ValueError(f"empty scenario mix {spec!r}")
+    return out
+
+
+def mixed_batch(
+    batch: int,
+    mix: str = DEFAULT_MIX,
+    routing_sizes: Sequence[int] = (16, 25),
+    sorting_sizes: Sequence[int] = (16, 25),
+    multiplex_sizes: Sequence[int] = (16, 20),
+    seed0: int = 0,
+) -> List[Scenario]:
+    """A deterministic batch of ``batch`` scenarios following a mix spec.
+
+    This is the workload feed of the batch-execution service
+    (:mod:`repro.service`): families are interleaved in weighted round-robin
+    order (heterogeneity *within* a shard, not one family per shard), sizes
+    cycle per family, and every scenario gets a distinct seed derived from
+    ``seed0`` — so the batch is reproducible from ``(batch, mix, seed0)``
+    alone, which is what lets differential backends compare digests.
+
+    Sorting families are pinned to perfect-square sizes (Algorithm 4's
+    requirement).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    bad = [s for s in sorting_sizes if not is_perfect_square(s)]
+    if bad:
+        raise ValueError(f"sorting sizes must be perfect squares; got {bad}")
+    sizes = {
+        "routing": tuple(routing_sizes),
+        "sorting": tuple(sorting_sizes),
+        "multiplex": tuple(multiplex_sizes),
+    }
+    for kind, options in sizes.items():
+        if not options:
+            raise ValueError(f"no sizes configured for kind {kind!r}")
+    cycle: List[Tuple[str, str]] = []
+    for kind, family, weight in parse_mix(mix):
+        cycle.extend([(kind, family)] * weight)
+    per_family_count: Dict[Tuple[str, str], int] = {}
+    out: List[Scenario] = []
+    for i in range(batch):
+        kind, family = cycle[i % len(cycle)]
+        k = per_family_count.get((kind, family), 0)
+        per_family_count[(kind, family)] = k + 1
+        n = sizes[kind][k % len(sizes[kind])]
+        out.append(Scenario(kind, family, n, seed=seed0 + i))
+    return out
+
+
 def default_scenarios(quick: bool = True) -> List[Scenario]:
     """The standard sweep: every family, square and non-square sizes.
 

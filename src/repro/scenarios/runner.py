@@ -27,6 +27,7 @@ Example::
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -73,6 +74,15 @@ def register_algorithm(spec: AlgorithmSpec) -> None:
 
 def algorithms(kind: str) -> List[str]:
     return sorted(name for k, name in ALGORITHMS if k == kind)
+
+
+def default_algorithm(kind: str) -> str:
+    """The algorithm a scenario of ``kind`` runs when none is named.
+
+    Single source of truth — the runner, the batch service, and the
+    direct-execution oracles in tests/benches all resolve through here.
+    """
+    return kind if kind == "multiplex" else "lenzen"
 
 
 register_algorithm(AlgorithmSpec(
@@ -138,6 +148,10 @@ class ScenarioOutcome:
     digest: str = ""
     budget: Optional[int] = None
     error: str = ""
+    #: wall-clock seconds spent inside the algorithm run.
+    wall_s: float = 0.0
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
 
     def row(self) -> List[Any]:
         return [
@@ -222,7 +236,7 @@ class ScenarioRunner:
         (essential for seeded differential comparisons).
         """
         if algorithm is None:
-            algorithm = scenario.kind if scenario.kind == "multiplex" else "lenzen"
+            algorithm = default_algorithm(scenario.kind)
         spec = ALGORITHMS.get((scenario.kind, algorithm))
         if spec is None:
             raise ValueError(
@@ -241,8 +255,12 @@ class ScenarioRunner:
         )
         if workload is None:
             workload = scenario.build()
+        t0 = time.perf_counter()
         try:
             result = spec.run(workload, engine, scenario.seed)
+            outcome.wall_s = time.perf_counter() - t0
+            outcome.shared_cache_hits = result.shared_cache_hits
+            outcome.shared_cache_misses = result.shared_cache_misses
             outcome.rounds = result.rounds
             outcome.total_packets = result.stats.total_packets
             outcome.total_words = result.stats.total_words
@@ -255,6 +273,7 @@ class ScenarioRunner:
             outcome.digest = output_digest(scenario.kind, result.outputs)
             outcome.ok = not outcome.error
         except ReproError as exc:
+            outcome.wall_s = time.perf_counter() - t0
             outcome.error = f"{type(exc).__name__}: {exc}"
         return outcome
 

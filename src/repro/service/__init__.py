@@ -1,0 +1,34 @@
+"""Batch-execution service: shard heterogeneous runs across workers.
+
+The front end every scaling layer builds on: callers enqueue
+:class:`~repro.core.engine.RunRequest` envelopes (any registered
+routing/sorting/extension algorithm x workload x engine), the
+:class:`BatchService` shards them across a process pool (or the in-process
+sequential baseline), warms worker plan caches from a structural prefetch
+pass, and streams back judged :class:`~repro.core.engine.RunSummary`
+records with batch-level aggregates.
+
+Command line::
+
+    python -m repro.service --batch 256 --workers 4 --engine fast
+
+See DESIGN.md section 7 for the architecture.
+"""
+
+from .batch import (
+    BatchReport,
+    BatchService,
+    ProcessPoolBackend,
+    SequentialBackend,
+    execute_request,
+    requests_from_scenarios,
+)
+
+__all__ = [
+    "BatchReport",
+    "BatchService",
+    "ProcessPoolBackend",
+    "SequentialBackend",
+    "execute_request",
+    "requests_from_scenarios",
+]

@@ -1,0 +1,420 @@
+"""Sharded batch execution: many runs, many workers, one report.
+
+Lenzen's routing and sorting finish in O(1) rounds *per instance*, so the
+axis this reproduction scales along is throughput across **many** instances
+— the service regime from the ROADMAP ("heavy traffic from millions of
+users").  This module is that front end:
+
+* Requests are :class:`~repro.core.engine.RunRequest` envelopes — picklable
+  coordinates, not live objects — resolved through the scenario taxonomy
+  and the algorithm registry.  Anything registered with
+  :func:`repro.scenarios.runner.register_algorithm` is addressable.
+* Two backends shard a batch: :class:`SequentialBackend` runs in-process in
+  request order (the determinism baseline), :class:`ProcessPoolBackend`
+  fans chunks out to a ``ProcessPoolExecutor``.
+* Every run is judged exactly as the scenario harness judges it (oracle
+  verification, round bounds, message budget) and collapsed to a
+  :class:`~repro.core.engine.RunSummary`; summaries stream back in request
+  order so callers can consume a large batch incrementally.
+* **Worker plan-cache warmup.**  The structural plans (Koenig colorings,
+  group partitions, header codecs) dominate per-run setup and recur across
+  a batch.  The pool backend runs a *structural prefetch pass*: one
+  representative request per distinct ``(kind, family, n, algorithm,
+  engine)`` group executes in the parent, the parent's
+  :class:`~repro.core.context.PlanCache` is snapshotted (pickle-filtered),
+  and every worker warms from that snapshot in its initializer.  Prefetch
+  runs are real results — their summaries are spliced back into the batch,
+  so the warmup costs no duplicated work.
+
+The digests let any two paths over the same batch — sequential, pooled, or
+direct ``engine.execute`` calls — be compared byte-for-byte; CI's service
+smoke job and :mod:`benchmarks.bench_service` both gate on that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.context import plan_cache
+from ..core.engine import RunRequest, RunSummary, available_engines
+from ..scenarios.generators import Scenario
+from ..scenarios.runner import ScenarioOutcome, ScenarioRunner
+
+__all__ = [
+    "BatchReport",
+    "BatchService",
+    "ProcessPoolBackend",
+    "SequentialBackend",
+    "execute_request",
+    "requests_from_scenarios",
+]
+
+
+def requests_from_scenarios(
+    scenarios: Iterable[Scenario],
+    engine: Optional[str] = None,
+    algorithm: Optional[str] = None,
+) -> List[RunRequest]:
+    """Wrap scenario coordinates into service request envelopes."""
+    return [
+        RunRequest(
+            kind=sc.kind,
+            family=sc.family,
+            n=sc.n,
+            seed=sc.seed,
+            algorithm=algorithm,
+            engine=engine,
+        )
+        for sc in scenarios
+    ]
+
+
+#: Shared runner for request execution (stateless between runs: every
+#: ``run`` builds its own workload and judges it independently).
+_RUNNER = ScenarioRunner()
+
+
+def _summarize(req: RunRequest, outcome: ScenarioOutcome) -> RunSummary:
+    return RunSummary(
+        request=req,
+        ok=outcome.ok,
+        engine=outcome.engine,
+        rounds=outcome.rounds,
+        total_packets=outcome.total_packets,
+        total_words=outcome.total_words,
+        max_edge_words=outcome.max_edge_words,
+        digest=outcome.digest,
+        wall_s=outcome.wall_s,
+        shared_cache_hits=outcome.shared_cache_hits,
+        shared_cache_misses=outcome.shared_cache_misses,
+        error=outcome.error,
+    )
+
+
+def execute_request(req: RunRequest) -> RunSummary:
+    """Resolve, run, verify and summarize one request (any process).
+
+    ``engine=None`` resolves to the simulator's default (the fully-audited
+    reference engine) — when dispatching through :class:`BatchService`,
+    unset engines are stamped with the service's default first.
+
+    Resolution errors (unknown family/algorithm/engine) are carried in the
+    summary's ``error`` field rather than raised: one malformed request must
+    not take down a shard of good ones.
+    """
+    try:
+        scenario = Scenario(req.kind, req.family, req.n, req.seed)
+        outcome = _RUNNER.run(
+            scenario,
+            algorithm=req.algorithm,
+            engine=req.engine if req.engine is not None else "reference",
+        )
+    except Exception as exc:  # resolution/registry errors, not run errors
+        return RunSummary(
+            request=req, ok=False, error=f"{type(exc).__name__}: {exc}"
+        )
+    return _summarize(req, outcome)
+
+
+def _execute_chunk(reqs: List[RunRequest]) -> List[RunSummary]:
+    return [execute_request(r) for r in reqs]
+
+
+def _warm_worker(plans: Dict[Hashable, object]) -> None:
+    """Pool-worker initializer: adopt the parent's structural plans."""
+    plan_cache().warm(plans)
+
+
+class SequentialBackend:
+    """In-process, in-order execution — the determinism baseline."""
+
+    name = "sequential"
+
+    def execute(self, requests: Sequence[RunRequest]) -> Iterator[RunSummary]:
+        for req in requests:
+            yield execute_request(req)
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessPoolBackend:
+    """Shard a batch across a ``ProcessPoolExecutor``.
+
+    Args:
+        workers: pool size (>= 1).
+        warm_plans: plan-cache snapshot installed in every worker's
+            process-wide :class:`~repro.core.context.PlanCache` before it
+            takes work (see :meth:`PlanCache.warm`).
+        chunk: requests per task; ``None`` picks ``ceil(batch / (4 *
+            workers))`` capped at 32 — large enough to amortize IPC, small
+            enough to keep the pool balanced and summaries streaming.
+    """
+
+    name = "process-pool"
+
+    def __init__(
+        self,
+        workers: int,
+        warm_plans: Optional[Dict[Hashable, object]] = None,
+        chunk: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("process pool needs workers >= 1")
+        self.workers = workers
+        self.chunk = chunk
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_warm_worker,
+            initargs=(warm_plans or {},),
+        )
+
+    def _chunk_size(self, batch: int) -> int:
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        return max(1, min(32, -(-batch // (4 * self.workers))))
+
+    def execute(self, requests: Sequence[RunRequest]) -> Iterator[RunSummary]:
+        size = self._chunk_size(len(requests))
+        chunks = [
+            list(requests[i:i + size]) for i in range(0, len(requests), size)
+        ]
+        futures = [self._pool.submit(_execute_chunk, c) for c in chunks]
+        for future in futures:
+            yield from future.result()
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+
+@dataclass
+class BatchReport:
+    """Aggregate view of one executed batch."""
+
+    summaries: List[RunSummary]
+    backend: str
+    workers: int
+    wall_s: float
+    warmed_plans: int = 0
+    prefetch_runs: int = 0
+    plan_cache_stats: Tuple[int, int, int] = (0, 0, 0)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.summaries) and all(s.ok for s in self.summaries)
+
+    @property
+    def failures(self) -> List[RunSummary]:
+        return [s for s in self.summaries if not s.ok]
+
+    @property
+    def throughput(self) -> float:
+        """Completed instances per wall-clock second."""
+        return len(self.summaries) / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def shared_cache_hit_rate(self) -> float:
+        hits = sum(s.shared_cache_hits for s in self.summaries)
+        misses = sum(s.shared_cache_misses for s in self.summaries)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def batch_digest(self) -> str:
+        """Order-independent digest of every per-run output digest.
+
+        Byte-identical across backends, worker counts and scheduling — the
+        cross-backend equivalence gate CI and the benches assert on.
+        """
+        blob = "\n".join(
+            sorted(f"{s.request.name} {s.digest}" for s in self.summaries)
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def by_family(self) -> Dict[Tuple[str, str], Dict[str, float]]:
+        """Per ``(kind, family)`` rollup used by the CLI table."""
+        rollup: Dict[Tuple[str, str], Dict[str, float]] = {}
+        for s in self.summaries:
+            row = rollup.setdefault(
+                (s.request.kind, s.request.family),
+                {"runs": 0, "ok": 0, "rounds": 0, "packets": 0, "wall_s": 0.0},
+            )
+            row["runs"] += 1
+            row["ok"] += 1 if s.ok else 0
+            row["rounds"] += s.rounds
+            row["packets"] += s.total_packets
+            row["wall_s"] += s.wall_s
+        return rollup
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready document (the ``--json`` CLI output)."""
+        hits, misses, size = self.plan_cache_stats
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "ok": self.ok,
+            "requests": len(self.summaries),
+            "failed": len(self.failures),
+            "wall_s": round(self.wall_s, 4),
+            "throughput_per_s": round(self.throughput, 2),
+            "total_rounds": sum(s.rounds for s in self.summaries),
+            "total_packets": sum(s.total_packets for s in self.summaries),
+            "total_words": sum(s.total_words for s in self.summaries),
+            "shared_cache_hit_rate": round(self.shared_cache_hit_rate, 4),
+            "plan_cache": {
+                "hits": hits,
+                "misses": misses,
+                "size": size,
+                "warmed_to_workers": self.warmed_plans,
+                "prefetch_runs": self.prefetch_runs,
+            },
+            "batch_digest": self.batch_digest(),
+            "failures": [
+                {"request": s.request.name, "error": s.error}
+                for s in self.failures
+            ],
+        }
+
+
+class BatchService:
+    """The batch-execution front end.
+
+    Args:
+        workers: ``0`` or ``1`` selects the in-process
+            :class:`SequentialBackend`; ``>= 2`` shards across a
+            :class:`ProcessPoolBackend` of that many workers.
+        engine: default engine name stamped on requests that carry
+            ``engine=None``.
+        warmup: run the structural prefetch pass before sharding (pool
+            backend only; the sequential backend warms its own cache as a
+            side effect of running).
+        max_prefetch: cap on prefetch runs.  Warmup is best-effort
+            amortization: a batch sweeping many distinct structures (every
+            request its own group) must not degenerate into running the
+            whole batch serially in the parent, so at most this many
+            representatives execute up front and the remaining groups start
+            cold in the workers.
+        chunk: override the pool backend's chunk size.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        engine: str = "fast",
+        warmup: bool = True,
+        max_prefetch: int = 32,
+        chunk: Optional[int] = None,
+    ) -> None:
+        if engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {engine!r}; available: "
+                f"{', '.join(available_engines())}"
+            )
+        self.workers = max(0, int(workers))
+        self.engine = engine
+        self.warmup = warmup
+        self.max_prefetch = max(0, int(max_prefetch))
+        self.chunk = chunk
+
+    # -- internals ----------------------------------------------------------
+
+    def _stamp(self, requests: Iterable[RunRequest]) -> List[RunRequest]:
+        return [
+            req if req.engine is not None else replace(req, engine=self.engine)
+            for req in requests
+        ]
+
+    def _prefetch_indices(self, requests: Sequence[RunRequest]) -> List[int]:
+        """Index of the first request of every distinct structural group.
+
+        Capped so warmup stays best-effort amortization: at most
+        ``max_prefetch`` representatives, and never more than a small
+        fraction of the batch per worker — a structurally diverse batch
+        must not serialize into the parent while the pool sits idle.
+        """
+        cap = min(
+            self.max_prefetch,
+            len(requests) // (2 * max(1, self.workers)) + 1,
+        )
+        seen = set()
+        picks = []
+        for i, req in enumerate(requests):
+            key = (req.kind, req.family, req.n, req.algorithm, req.engine)
+            if key not in seen:
+                seen.add(key)
+                picks.append(i)
+                if len(picks) >= cap:
+                    break
+        return picks
+
+    # -- execution ----------------------------------------------------------
+
+    def execute(
+        self,
+        requests: Iterable[RunRequest],
+        _info: Optional[Dict[str, int]] = None,
+    ) -> Iterator[Tuple[RunRequest, RunSummary]]:
+        """Execute a batch, streaming ``(request, summary)`` in order.
+
+        ``_info``, when given, receives warmup accounting (``warmed``,
+        ``prefetch_runs``) — internal plumbing for :meth:`run_batch`.
+        """
+        stamped = self._stamp(requests)
+        if self.workers < 2:
+            backend = SequentialBackend()
+            try:
+                for req, summary in zip(stamped, backend.execute(stamped)):
+                    yield req, summary
+            finally:
+                backend.close()
+            return
+        # Pool path.  The structural prefetch pass runs one representative
+        # per distinct (kind, family, n, algorithm, engine) group in the
+        # parent — real work, its summaries are spliced back into the batch
+        # — then ships the resulting plan-cache snapshot to every worker.
+        prefetched: Dict[int, RunSummary] = {}
+        warm_plans: Dict[Hashable, object] = {}
+        if self.warmup:
+            for i in self._prefetch_indices(stamped):
+                prefetched[i] = execute_request(stamped[i])
+            warm_plans = plan_cache().snapshot()
+        if _info is not None:
+            _info["warmed"] = len(warm_plans)
+            _info["prefetch_runs"] = len(prefetched)
+        backend = ProcessPoolBackend(
+            self.workers, warm_plans=warm_plans, chunk=self.chunk
+        )
+        rest = [req for i, req in enumerate(stamped) if i not in prefetched]
+        try:
+            pooled = backend.execute(rest)
+            for i, req in enumerate(stamped):
+                if i in prefetched:
+                    yield req, prefetched[i]
+                else:
+                    yield req, next(pooled)
+        finally:
+            backend.close()
+
+    def run_batch(self, requests: Iterable[RunRequest]) -> BatchReport:
+        """Execute a batch to completion and aggregate the summaries."""
+        pc = plan_cache()
+        hits0, misses0, _ = pc.stats()
+        info: Dict[str, int] = {}
+        t0 = time.perf_counter()
+        summaries = [s for _, s in self.execute(requests, _info=info)]
+        wall = time.perf_counter() - t0
+        hits1, misses1, size1 = pc.stats()
+        return BatchReport(
+            summaries=summaries,
+            backend=(
+                ProcessPoolBackend.name if self.workers >= 2
+                else SequentialBackend.name
+            ),
+            workers=self.workers if self.workers >= 2 else 1,
+            wall_s=wall,
+            warmed_plans=info.get("warmed", 0),
+            prefetch_runs=info.get("prefetch_runs", 0),
+            plan_cache_stats=(hits1 - hits0, misses1 - misses0, size1),
+        )

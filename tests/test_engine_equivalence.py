@@ -8,7 +8,14 @@ and shared-cache behavior on both engines — the fast path may only change
 
 import pytest
 
-from repro.core import CongestedClique, FastEngine, available_engines, get_engine
+from repro.core import (
+    CongestedClique,
+    FastEngine,
+    Packet,
+    available_engines,
+    get_engine,
+    run_protocol,
+)
 from repro.routing import (
     block_skew_instance,
     bursty_instance,
@@ -104,6 +111,101 @@ def test_sorting_equivalence(maker):
     ref = assert_equivalent(lambda engine: sort_lenzen(inst, engine=engine))
     verify_sorted_batches(inst, ref.outputs)
     assert_equivalent(lambda engine: sample_sort(inst, seed=4, engine=engine))
+
+
+def _shared_outbox_program():
+    """A program whose nodes all yield the *same* dict object.
+
+    Each node clears the shared dict and inserts its own packet to its
+    successor right before yielding, so by the time the engine delivers,
+    later nodes have already clobbered earlier nodes' entries.  The
+    reference engine snapshots every outbox at yield time; regression: the
+    fast path used to keep the yielded dict aliased, so every node
+    "sent" whatever the last writer left in it.
+    """
+    shared_outbox = {}
+
+    def program(ctx):
+        def gen():
+            n = ctx.n
+            me = ctx.node_id
+            shared_outbox.clear()
+            shared_outbox[(me + 1) % n] = Packet((me,))
+            inbox = yield shared_outbox
+            return sorted((src, pkt.words) for src, pkt in inbox.items())
+
+        return gen()
+
+    return program
+
+
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_outbox_aliasing_regression(engine):
+    """Differential: a dict-reusing protocol on both engines (ISSUE 3)."""
+    n = 8
+    ref = run_protocol(n, _shared_outbox_program(), capacity=2)
+    fast = run_protocol(n, _shared_outbox_program(), capacity=2, engine=engine)
+    # Ground truth: node j hears exactly from its predecessor.
+    assert ref.outputs == [
+        [((j - 1) % n, ((j - 1) % n,))] for j in range(n)
+    ]
+    assert fast.outputs == ref.outputs, engine
+    assert fast.rounds == ref.rounds
+    assert fast.stats.total_packets == ref.stats.total_packets
+    assert fast.stats.total_words == ref.stats.total_words
+
+
+def _shared_outbox_multiround_program(rounds):
+    """Like :func:`_shared_outbox_program`, but re-yielding the shared dict
+    every round — so the aliasing hazard hits the engine's *send-loop*
+    coercion (rounds >= 2), not just the prime-time path.
+    """
+    shared_outbox = {}
+
+    def program(ctx):
+        def gen():
+            n = ctx.n
+            me = ctx.node_id
+            heard = []
+            for r in range(rounds):
+                shared_outbox.clear()
+                shared_outbox[(me + 1) % n] = Packet((r * n + me,))
+                inbox = yield shared_outbox
+                heard.extend(
+                    (r, src, pkt.words)
+                    for src, pkt in sorted(inbox.items())
+                )
+            return heard
+
+        return gen()
+
+    return program
+
+
+@pytest.mark.parametrize("engine", FAST_ENGINES)
+def test_outbox_reuse_across_rounds_regression(engine):
+    """The snapshot-at-yield copy must also cover outboxes collected in the
+    steady-state send loop, where later nodes' resumes used to clobber
+    earlier nodes' still-undelivered aliased dicts.
+    """
+    n, rounds = 6, 3
+    ref = run_protocol(
+        n, _shared_outbox_multiround_program(rounds), capacity=2
+    )
+    fast = run_protocol(
+        n,
+        _shared_outbox_multiround_program(rounds),
+        capacity=2,
+        engine=engine,
+    )
+    pred = lambda j: (j - 1) % n
+    assert ref.outputs == [
+        [(r, pred(j), (r * n + pred(j),)) for r in range(rounds)]
+        for j in range(n)
+    ]
+    assert fast.outputs == ref.outputs, engine
+    assert fast.rounds == ref.rounds
+    assert fast.stats.total_packets == ref.stats.total_packets
 
 
 def test_meters_equivalent():

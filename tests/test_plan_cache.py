@@ -1,0 +1,221 @@
+"""PlanCache semantics: scoped verify bypass, FIFO eviction, snapshots.
+
+The regression tests here pin the two properties ISSUE 3 fixed:
+
+* ``SharedCache.verify_mode`` must not mutate the *global* plan-cache
+  ``enabled`` flag — the bypass has to be scoped to the verifying
+  computation, or interleaved/concurrent runs observe (and clobber) each
+  other's toggle;
+* the cache's bounded store evicts strictly FIFO, with hit/miss/eviction
+  counters that a model-based property test can predict exactly.
+"""
+
+import threading
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PlanCache, SharedCache, plan_cache, planned
+from repro.core.errors import ProtocolError
+
+
+@pytest.fixture
+def clean_plan_cache():
+    """The process-wide cache, emptied, with counters rebased afterwards."""
+    pc = plan_cache()
+    pc.clear()
+    yield pc
+    pc.clear()
+
+
+# -- scoped verify bypass ----------------------------------------------------
+
+
+def test_verify_bypass_does_not_clobber_global_toggle(clean_plan_cache):
+    """Regression: the verify-mode recompute used to flip
+    ``plan_cache().enabled`` for its duration, so *any* concurrent run --
+    engines interleaved on threads, a batch service shard, a nested
+    computation -- saw the process-wide cache silently disabled (or had its
+    own disable re-enabled underneath it).  The bypass must be invisible
+    outside the verifying computation itself.
+    """
+    pc = clean_plan_cache
+    shared = SharedCache(verify_mode=True)
+    shared.compute("key", lambda: 7)  # prime: stores 7
+
+    in_recompute = threading.Event()
+    release = threading.Event()
+    errors = []
+
+    def slow_recompute():
+        in_recompute.set()
+        if not release.wait(10):
+            errors.append("probe thread never released")
+        return 7
+
+    def verifying_run():
+        try:
+            assert shared.compute("key", slow_recompute) == 7
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(repr(exc))
+
+    thread = threading.Thread(target=verifying_run)
+    thread.start()
+    try:
+        assert in_recompute.wait(10), "verify recompute never started"
+        # While the other run's determinism audit is mid-recompute, this
+        # run's view of the process-wide cache must be untouched: still
+        # enabled, still serving hits, still counting.
+        assert pc.enabled
+        assert pc.compute("probe", lambda: "fresh") == "fresh"
+        hits_before = pc.hits
+        assert pc.compute("probe", lambda: "stale") == "fresh"
+        assert pc.hits == hits_before + 1
+    finally:
+        release.set()
+        thread.join(10)
+    assert not errors, errors
+    assert pc.enabled
+
+
+def test_verify_bypass_is_reentrant(clean_plan_cache):
+    pc = clean_plan_cache
+    pc.compute("k", lambda: "cached")
+    with pc.bypassed():
+        with pc.bypassed():
+            assert pc.compute("k", lambda: "inner") == "inner"
+        # Still bypassed after the inner scope exits.
+        assert pc.compute("k", lambda: "outer") == "outer"
+    # Fully restored: the stored plan is served again.
+    assert pc.compute("k", lambda: "post") == "cached"
+
+
+def test_bypassed_scope_leaves_counters_untouched(clean_plan_cache):
+    pc = clean_plan_cache
+    pc.compute("k", lambda: 1)
+    stats_before = (pc.hits, pc.misses, pc.evictions)
+    with pc.bypassed():
+        pc.compute("k", lambda: 2)
+        pc.compute("other", lambda: 3)
+    assert (pc.hits, pc.misses, pc.evictions) == stats_before
+    assert "other" not in pc._store
+
+
+def test_bypassed_is_per_cache_instance(clean_plan_cache):
+    """Bypassing one cache must not switch off other PlanCache instances
+    that happen to compute within the bypass scope.
+    """
+    other = PlanCache()
+    other.compute("k", lambda: "cached")
+    with clean_plan_cache.bypassed():
+        assert other.compute("k", lambda: "fresh") == "cached"
+        assert other.hits == 1
+
+
+def test_verify_mode_recompute_is_genuine(clean_plan_cache):
+    """The audit must re-run the underlying plan computation, not read the
+    warm plan back -- otherwise it compares a cached value to itself and
+    can never catch nondeterminism.
+    """
+    calls = []
+
+    def build():
+        calls.append(1)
+        return len(calls)  # nondeterministic on purpose
+
+    shared = SharedCache(verify_mode=True)
+    assert shared.compute("s", lambda: planned("plan", build)) == 1
+    with pytest.raises(ProtocolError, match="not .*deterministic"):
+        shared.compute("s", lambda: planned("plan", build))
+    assert len(calls) == 2, "verify hit must have recomputed the plan"
+
+
+def test_verify_mode_still_passes_for_deterministic_plans(clean_plan_cache):
+    shared = SharedCache(verify_mode=True)
+    fn = lambda: planned("stable", lambda: (1, 2, 3))
+    assert shared.compute("s", fn) == (1, 2, 3)
+    assert shared.compute("s", fn) == (1, 2, 3)
+    assert shared.hits == 1 and shared.misses == 1
+
+
+# -- FIFO eviction / counters ------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    maxsize=st.integers(min_value=1, max_value=8),
+    accesses=st.lists(st.integers(min_value=0, max_value=15), max_size=60),
+)
+def test_fifo_eviction_model(maxsize, accesses):
+    """Model-based check: store contents, insertion order, and the
+    hit/miss/eviction counters all match an OrderedDict FIFO oracle.
+    """
+    cache = PlanCache(maxsize=maxsize)
+    model = OrderedDict()
+    hits = misses = evictions = 0
+    for key in accesses:
+        if key in model:
+            hits += 1
+            got = cache.compute(key, lambda: "WRONG: fn ran on a hit")
+            assert got == model[key]
+        else:
+            misses += 1
+            value = f"plan-{key}"
+            assert cache.compute(key, lambda v=value: v) == value
+            if len(model) >= maxsize:
+                model.popitem(last=False)
+                evictions += 1
+            model[key] = value
+        assert list(cache._store) == list(model)
+    assert cache.hits == hits
+    assert cache.misses == misses
+    assert cache.evictions == evictions
+    assert cache.stats() == (hits, misses, len(model))
+    assert len(cache) == len(model)
+
+
+def test_eviction_order_is_insertion_not_recency():
+    """FIFO, not LRU: re-hitting the oldest plan does not save it."""
+    cache = PlanCache(maxsize=2)
+    cache.compute("a", lambda: 1)
+    cache.compute("b", lambda: 2)
+    cache.compute("a", lambda: 0)  # hit; must not refresh a's age
+    cache.compute("c", lambda: 3)  # evicts a (oldest inserted)
+    assert list(cache._store) == ["b", "c"]
+    assert cache.evictions == 1
+
+
+# -- snapshots / warmup ------------------------------------------------------
+
+
+def test_snapshot_filters_unpicklable_plans():
+    cache = PlanCache()
+    cache.compute("good", lambda: (1, 2))
+    cache.compute("bad", lambda: (lambda: None))  # lambdas do not pickle
+    snap = cache.snapshot()
+    assert snap == {"good": (1, 2)}
+
+
+def test_warm_respects_existing_entries_maxsize_and_counters():
+    cache = PlanCache(maxsize=3)
+    cache.compute("a", lambda: "mine")
+    counters_before = (cache.hits, cache.misses, cache.evictions)
+    adopted = cache.warm({"a": "theirs", "b": 2, "c": 3, "d": 4})
+    assert adopted == 2  # b and c; a exists, d over maxsize
+    assert cache._store["a"] == "mine"
+    assert len(cache) == 3
+    assert (cache.hits, cache.misses, cache.evictions) == counters_before
+    # Warmed entries are served as hits afterwards.
+    assert cache.compute("b", lambda: "recomputed") == 2
+
+
+def test_disable_enable_roundtrip():
+    cache = PlanCache()
+    cache.disable()
+    assert cache.compute("k", lambda: 1) == 1
+    assert len(cache) == 0 and cache.misses == 0
+    cache.enable()
+    assert cache.compute("k", lambda: 1) == 1
+    assert len(cache) == 1 and cache.misses == 1
