@@ -67,3 +67,9 @@ def test_bench_koenig_speed(benchmark):
 def test_bench_greedy_speed(benchmark):
     g = _regular(64, 16, seed=1)
     benchmark(lambda: greedy_edge_coloring(g))
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

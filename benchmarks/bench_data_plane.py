@@ -109,6 +109,9 @@ def test_bench_plan_cache_warm_speedup(benchmark, table_printer, bench_json):
                     "warm_ms": round(h, 3),
                     "speedup": round(s, 3),
                     "warm_repeat_new_misses": m,
+                    # which rows the >= target assertion below applies to;
+                    # CI's bench-regression step gates on the same flag.
+                    "gated": w.endswith("/fast") and n >= 64,
                 }
                 for w, n, c, h, s, m in rows
             ],
@@ -124,3 +127,9 @@ def test_bench_plan_cache_warm_speedup(benchmark, table_printer, bench_json):
                 f"{workload} n={n}: warm speedup {speedup:.2f}x below "
                 f"target {WARM_SPEEDUP_TARGET}x"
             )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -166,3 +166,9 @@ def test_bench_single_engine(benchmark, engine):
     inst = skewed_hotspot(64)
     prog = naive_program(inst)
     benchmark(lambda: CongestedClique(64, engine=engine).run(prog))
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -54,3 +54,9 @@ def test_bench_indexing_selection(benchmark, table_printer):
             rows,
         )
     )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

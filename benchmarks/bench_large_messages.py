@@ -44,3 +44,9 @@ def test_bench_large_messages(benchmark, table_printer):
             rows,
         )
     )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -70,3 +70,9 @@ def test_bench_optimized_local_work(benchmark, table_printer):
             rows,
         )
     )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

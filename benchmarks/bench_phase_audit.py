@@ -91,3 +91,9 @@ def test_bench_phase_audit_sorting(benchmark, table_printer):
             rows,
         )
     )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -54,3 +54,9 @@ def test_bench_routing_rounds(benchmark, table_printer):
 def test_bench_single_route(benchmark, n):
     inst = uniform_instance(n, seed=1)
     benchmark(lambda: route_lenzen(inst))
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -147,3 +147,9 @@ def test_bench_service_throughput(benchmark, table_printer, bench_json):
             f"\n[bench_service] {cpus} cpu(s) < {WORKERS} workers: "
             f"recorded {speedup:.2f}x, speedup gate not enforced"
         )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -46,3 +46,9 @@ def test_bench_sorting_rounds(benchmark, table_printer):
 def test_bench_single_sort(benchmark):
     inst = uniform_sort_instance(16, seed=3)
     benchmark(lambda: sort_lenzen(inst))
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

@@ -71,3 +71,9 @@ def test_bench_vs_randomized(benchmark, table_printer):
             rows,
         )
     )
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

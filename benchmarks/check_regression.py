@@ -1,0 +1,177 @@
+"""Bench-regression gate: fresh BENCH_engines.json vs the committed file.
+
+CI runs the perf benches (E13-E16), which overwrite ``BENCH_engines.json``
+in the working tree, then calls this script with the *committed* copy as
+the baseline::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/BENCH_committed.json --fresh BENCH_engines.json
+
+The check fails (exit 1) if any **gated** speedup in the fresh results
+drops below the target *recorded in the committed baseline* — so a PR
+cannot quietly lower a bar inside a bench file without also updating the
+committed JSON (which shows up in review), and a perf regression fails
+even if someone forgot to run the bench's own assertion.
+
+Rules per section:
+
+* ``engines`` — every baseline row with a numeric ``bar`` (e.g. ``">=
+  1.8"``) must exist in the fresh rows (matched by workload and n) and
+  meet that bar; ``"(context)"`` rows are informational.
+* ``data_plane`` — every baseline row marked ``"gated": true`` must exist
+  fresh (matched by workload) and meet the baseline's
+  ``warm_speedup_target``; unmarked rows are context (the bench itself
+  only asserts the fast-engine rows).
+* ``service`` / ``stream`` — the best fresh speedup must meet the
+  baseline's ``speedup_target``, but only when the fresh run says the
+  gate is enforced (``speedup_gate_enforced`` — false on < 4 CPUs, where
+  the measurement is meaningless).
+
+Sections present in the baseline but missing from the fresh file fail:
+a gate that silently stops being measured is itself a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Dict, List, Optional
+
+
+def _parse_bar(bar: object) -> Optional[float]:
+    """``">= 1.8"`` -> 1.8; non-numeric bars (``"(context)"``) -> None."""
+    if not isinstance(bar, str):
+        return None
+    match = re.search(r"(\d+(?:\.\d+)?)", bar)
+    return float(match.group(1)) if match else None
+
+
+def _rows(section: object) -> List[dict]:
+    if isinstance(section, dict) and isinstance(section.get("rows"), list):
+        return [r for r in section["rows"] if isinstance(r, dict)]
+    return []
+
+
+def _check_engines(base: dict, fresh: Optional[dict], out: List[str]) -> None:
+    fresh_rows = {
+        (r.get("workload"), r.get("n")): r for r in _rows(fresh)
+    }
+    for row in _rows(base):
+        bar = _parse_bar(row.get("bar"))
+        if bar is None:
+            continue
+        key = (row.get("workload"), row.get("n"))
+        got = fresh_rows.get(key)
+        if got is None:
+            out.append(
+                f"engines: gated row {key} missing from fresh results"
+            )
+        elif not got.get("speedup") or got["speedup"] < bar:
+            out.append(
+                f"engines: {key} speedup {got.get('speedup')} below "
+                f"recorded bar {bar}"
+            )
+
+
+def _check_data_plane(
+    base: dict, fresh: Optional[dict], out: List[str]
+) -> None:
+    target = base.get("warm_speedup_target")
+    if not isinstance(target, (int, float)):
+        return
+    fresh_rows = {
+        (r.get("workload"), r.get("n")): r for r in _rows(fresh)
+    }
+    for row in _rows(base):
+        if not row.get("gated"):
+            continue
+        key = (row.get("workload"), row.get("n"))
+        got = fresh_rows.get(key)
+        if got is None:
+            out.append(
+                f"data_plane: gated row {key!r} missing from fresh results"
+            )
+        elif not got.get("speedup") or got["speedup"] < target:
+            out.append(
+                f"data_plane: {key!r} warm speedup {got.get('speedup')} "
+                f"below recorded target {target}"
+            )
+
+
+def _check_throughput(
+    name: str, base: dict, fresh: Optional[dict], out: List[str]
+) -> None:
+    target = base.get("speedup_target")
+    if not isinstance(target, (int, float)):
+        return
+    if fresh is None:
+        out.append(f"{name}: gated section missing from fresh results")
+        return
+    if not fresh.get("speedup_gate_enforced"):
+        return  # gate unmeasurable on this hardware (< pool-size CPUs)
+    speedups = [
+        r["speedup"] for r in _rows(fresh)
+        if isinstance(r.get("speedup"), (int, float))
+    ]
+    best = max(speedups, default=0.0)
+    if best < target:
+        out.append(
+            f"{name}: best fresh speedup {best} below recorded target "
+            f"{target} (gate enforced)"
+        )
+
+
+def check(baseline: dict, fresh: dict) -> List[str]:
+    """All gated-speedup regressions of ``fresh`` against ``baseline``."""
+    failures: List[str] = []
+    checkers = {
+        "engines": _check_engines,
+        "data_plane": _check_data_plane,
+    }
+    for name, section in baseline.items():
+        if not isinstance(section, dict):
+            continue
+        if name in checkers:
+            checkers[name](section, fresh.get(name), failures)
+        elif "speedup_target" in section:
+            _check_throughput(name, section, fresh.get(name), failures)
+    return failures
+
+
+def _load(path: str) -> Dict[str, object]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return doc
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail if any gated bench speedup regressed below the "
+        "target recorded in the committed BENCH_engines.json."
+    )
+    parser.add_argument(
+        "--baseline", required=True,
+        help="committed BENCH_engines.json (the recorded targets)",
+    )
+    parser.add_argument(
+        "--fresh", required=True,
+        help="freshly produced BENCH_engines.json (the new measurements)",
+    )
+    args = parser.parse_args(argv)
+
+    failures = check(_load(args.baseline), _load(args.fresh))
+    if failures:
+        print("bench regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench regression check passed: no gated speedup regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

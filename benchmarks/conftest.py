@@ -1,4 +1,4 @@
-"""Shared helpers for the experiment benches (E1-E14 in DESIGN.md).
+"""Shared helpers for the experiment benches (E1-E16 in DESIGN.md).
 
 Every bench measures *round counts* (the paper's cost metric) and asserts
 them against the theorem bounds, while pytest-benchmark records wall-clock
@@ -13,8 +13,24 @@ a workflow artifact).
 
 import json
 import pathlib
+import sys
 
 import pytest
+
+
+def run_standalone(bench_file: str) -> int:
+    """Entry point for ``python benchmarks/bench_X.py``.
+
+    Executes the bench's gates under pytest (quick mode — the internal
+    best-of-N comparisons and speedup assertions run, pytest-benchmark's
+    own timing loops stay off) and returns a non-zero exit code on any
+    failure, matching how CI's engine-bench job documents the benches.
+    Every ``bench_*.py`` calls this from its ``__main__`` block; extra
+    argv is passed through to pytest.
+    """
+    return int(pytest.main(
+        [bench_file, "-q", "-s", "--benchmark-disable"] + sys.argv[1:]
+    ))
 
 #: Machine-readable benchmark results, one section per bench, at repo root.
 BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / (

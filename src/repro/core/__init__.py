@@ -50,7 +50,7 @@ from .message import (
     unpack_triple,
     validate_packet,
 )
-from .metrics import MeterReport, OperationMeter, RunStats
+from .metrics import LatencyHistogram, MeterReport, OperationMeter, RunStats
 from .network import CongestedClique, NodeGen, RunResult, run_protocol
 from .protocol import (
     attach_piggyback,
@@ -119,6 +119,7 @@ __all__ = [
     "unpack_triple",
     "validate_packet",
     "DEFAULT_CAPACITY",
+    "LatencyHistogram",
     "MeterReport",
     "OperationMeter",
     "RunStats",

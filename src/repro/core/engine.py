@@ -100,6 +100,11 @@ class RunRequest:
     engine: Optional[str] = None
     #: free-form correlation id echoed back on the summary.
     tag: str = ""
+    #: per-request latency budget in milliseconds, measured from submission
+    #: to the streaming gateway.  ``None`` defers to the gateway's default
+    #: (which may also be ``None`` — no deadline).  The batch service
+    #: ignores deadlines: a batch is judged on completion, not latency.
+    deadline_ms: Optional[float] = None
 
     @property
     def name(self) -> str:
@@ -132,6 +137,16 @@ class RunSummary:
     shared_cache_hits: int = 0
     shared_cache_misses: int = 0
     error: str = ""
+    #: lifecycle under the streaming gateway: ``"completed"`` (ran to the
+    #: end, ``ok`` carries the verdict), ``"rejected"`` (backpressure —
+    #: never entered the queue), or ``"cancelled"`` (deadline expired in
+    #: the queue or mid-run).  Batch-service summaries leave it ``""``.
+    status: str = ""
+    #: seconds spent waiting in the gateway queue before execution began.
+    queue_s: float = 0.0
+    #: submission-to-resolution seconds (queue wait + execution) as seen
+    #: by the gateway — the latency the histograms record.
+    latency_s: float = 0.0
 
 
 def coerce_outbox(raw: Any, src: int, n: int) -> Dict[int, Packet]:

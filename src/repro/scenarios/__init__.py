@@ -20,11 +20,15 @@ from .generators import (
     KINDS,
     BurstyMultiplexWorkload,
     Scenario,
+    arrival_times,
     default_scenarios,
     families,
     mixed_batch,
     parse_mix,
+    poisson_arrivals,
+    saturated_arrivals,
     scenario_matrix,
+    uniform_arrivals,
 )
 from .runner import (
     ALGORITHMS,
@@ -48,6 +52,10 @@ __all__ = [
     "mixed_batch",
     "parse_mix",
     "scenario_matrix",
+    "arrival_times",
+    "poisson_arrivals",
+    "saturated_arrivals",
+    "uniform_arrivals",
     "ScenarioRunner",
     "ScenarioOutcome",
     "DifferentialReport",

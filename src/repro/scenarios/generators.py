@@ -343,6 +343,78 @@ def mixed_batch(
     return out
 
 
+# -- arrival processes -------------------------------------------------------
+#
+# The streaming gateway (:mod:`repro.service.stream`) is driven open-loop:
+# requests arrive on a clock that does not wait for completions, which is
+# what makes backpressure and tail latency observable at all.  These
+# helpers produce the arrival timeline (seconds from stream start, sorted
+# ascending, one entry per request).
+
+
+def poisson_arrivals(rate: float, count: int, seed: int = 0) -> List[float]:
+    """``count`` Poisson-process arrival times at ``rate`` per second.
+
+    Interarrival gaps are i.i.d. exponential with mean ``1/rate`` —
+    the classic open-loop load model (memoryless, bursty at every
+    timescale).  Deterministic in ``(rate, count, seed)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"poisson arrivals need rate > 0, got {rate}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    t = 0.0
+    out = []
+    for _ in range(count):
+        t += rng.expovariate(rate)
+        out.append(t)
+    return out
+
+
+def uniform_arrivals(rate: float, count: int) -> List[float]:
+    """``count`` evenly spaced arrivals at ``rate`` per second.
+
+    The deterministic comparison baseline for the Poisson process: same
+    offered load, zero burstiness.
+    """
+    if rate <= 0:
+        raise ValueError(f"uniform arrivals need rate > 0, got {rate}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    gap = 1.0 / rate
+    return [gap * (i + 1) for i in range(count)]
+
+
+def saturated_arrivals(count: int) -> List[float]:
+    """Every request arrives at t=0 — the closed-loop/throughput regime.
+
+    Under this timeline the gateway is permanently backlogged, so sustained
+    throughput is bounded by the worker pool, not the arrival clock; it is
+    what :mod:`benchmarks.bench_stream` measures against the sequential
+    backend.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [0.0] * count
+
+
+def arrival_times(
+    process: str, rate: float, count: int, seed: int = 0
+) -> List[float]:
+    """Dispatch on an arrival-process name: poisson, uniform or saturated."""
+    if process == "poisson":
+        return poisson_arrivals(rate, count, seed)
+    if process == "uniform":
+        return uniform_arrivals(rate, count)
+    if process == "saturated":
+        return saturated_arrivals(count)
+    raise ValueError(
+        f"unknown arrival process {process!r}; "
+        f"want poisson, uniform or saturated"
+    )
+
+
 def default_scenarios(quick: bool = True) -> List[Scenario]:
     """The standard sweep: every family, square and non-square sizes.
 

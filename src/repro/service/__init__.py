@@ -1,18 +1,26 @@
-"""Batch-execution service: shard heterogeneous runs across workers.
+"""Execution service layer: offline batches and online streams.
 
-The front end every scaling layer builds on: callers enqueue
-:class:`~repro.core.engine.RunRequest` envelopes (any registered
-routing/sorting/extension algorithm x workload x engine), the
-:class:`BatchService` shards them across a process pool (or the in-process
-sequential baseline), warms worker plan caches from a structural prefetch
-pass, and streams back judged :class:`~repro.core.engine.RunSummary`
-records with batch-level aggregates.
+Two front ends share the same envelopes, judgement and digests:
+
+* :mod:`repro.service.batch` — *offline*: callers enqueue
+  :class:`~repro.core.engine.RunRequest` envelopes (any registered
+  routing/sorting/extension algorithm x workload x engine), the
+  :class:`BatchService` shards them across a process pool (or the
+  in-process sequential baseline), warms worker plan caches from a
+  structural prefetch pass, and streams back judged
+  :class:`~repro.core.engine.RunSummary` records with batch aggregates.
+* :mod:`repro.service.stream` — *online*: the :class:`StreamGateway`
+  accepts a continuous request stream behind a bounded queue with
+  explicit backpressure (reject or block), enforces per-request
+  deadlines, and records tail-latency histograms; judged on sustained
+  throughput and p50/p95/p99, not batch wall-time.
 
 Command line::
 
     python -m repro.service --batch 256 --workers 4 --engine fast
+    python -m repro.service.stream --rate 8 --duration 2 --workers 2
 
-See DESIGN.md section 7 for the architecture.
+See DESIGN.md sections 6 (batch) and 7 (stream) for the architecture.
 """
 
 from .batch import (
@@ -22,7 +30,32 @@ from .batch import (
     SequentialBackend,
     execute_request,
     requests_from_scenarios,
+    summaries_digest,
 )
+
+#: Streaming-gateway names re-exported lazily (PEP 562).  Eagerly importing
+#: ``.stream`` here would put it in ``sys.modules`` before ``python -m
+#: repro.service.stream`` executes it as ``__main__``, running the module
+#: twice (and making runpy warn about exactly that).
+_STREAM_EXPORTS = (
+    "STATUS_CANCELLED",
+    "STATUS_COMPLETED",
+    "STATUS_REJECTED",
+    "StreamGateway",
+    "StreamMetrics",
+    "StreamReport",
+    "replay",
+    "serve",
+    "structural_warmup",
+)
+
+
+def __getattr__(name: str):
+    if name in _STREAM_EXPORTS:
+        from . import stream
+
+        return getattr(stream, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BatchReport",
@@ -31,4 +64,14 @@ __all__ = [
     "SequentialBackend",
     "execute_request",
     "requests_from_scenarios",
+    "summaries_digest",
+    "STATUS_CANCELLED",
+    "STATUS_COMPLETED",
+    "STATUS_REJECTED",
+    "StreamGateway",
+    "StreamMetrics",
+    "StreamReport",
+    "replay",
+    "serve",
+    "structural_warmup",
 ]

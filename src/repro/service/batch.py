@@ -51,7 +51,24 @@ __all__ = [
     "SequentialBackend",
     "execute_request",
     "requests_from_scenarios",
+    "structural_key",
+    "summaries_digest",
 ]
+
+
+def summaries_digest(summaries: Iterable[RunSummary]) -> str:
+    """Order-independent digest of every per-run output digest.
+
+    Byte-identical across backends, worker counts and scheduling — the
+    cross-backend equivalence gate CI and the benches assert on.  The
+    batch service and the streaming gateway both fold their summaries
+    through here, which is what makes "streaming == batch == sequential"
+    a one-line comparison.
+    """
+    blob = "\n".join(
+        sorted(f"{s.request.name} {s.digest}" for s in summaries)
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
 
 
 def requests_from_scenarios(
@@ -71,6 +88,18 @@ def requests_from_scenarios(
         )
         for sc in scenarios
     ]
+
+
+def structural_key(req: RunRequest) -> Tuple:
+    """The coordinate that decides "same structural plans" for warmup.
+
+    Requests sharing this key replay identical Koenig colorings, group
+    partitions and header codecs from the plan cache (the seed only varies
+    payloads, never structure).  Both the batch service's prefetch pass and
+    the streaming gateway's ``structural_warmup`` dedupe through here, so
+    the two regimes can never disagree on what counts as warm.
+    """
+    return (req.kind, req.family, req.n, req.algorithm, req.engine)
 
 
 #: Shared runner for request execution (stateless between runs: every
@@ -225,13 +254,9 @@ class BatchReport:
     def batch_digest(self) -> str:
         """Order-independent digest of every per-run output digest.
 
-        Byte-identical across backends, worker counts and scheduling — the
-        cross-backend equivalence gate CI and the benches assert on.
+        See :func:`summaries_digest` — shared with the streaming gateway.
         """
-        blob = "\n".join(
-            sorted(f"{s.request.name} {s.digest}" for s in self.summaries)
-        ).encode()
-        return hashlib.sha256(blob).hexdigest()[:16]
+        return summaries_digest(self.summaries)
 
     def by_family(self) -> Dict[Tuple[str, str], Dict[str, float]]:
         """Per ``(kind, family)`` rollup used by the CLI table."""
@@ -341,7 +366,7 @@ class BatchService:
         seen = set()
         picks = []
         for i, req in enumerate(requests):
-            key = (req.kind, req.family, req.n, req.algorithm, req.engine)
+            key = structural_key(req)
             if key not in seen:
                 seen.add(key)
                 picks.append(i)

@@ -1,0 +1,781 @@
+"""Streaming asyncio gateway: online execution with backpressure.
+
+The batch service (:mod:`repro.service.batch`) answers "run these B
+instances and tell me when they are all done" — an *offline* regime judged
+on batch wall-time.  This module is the *online* regime the ROADMAP's
+"heavy traffic" north star actually means: a long-lived gateway that
+accepts a continuous stream of :class:`~repro.core.engine.RunRequest`
+envelopes, applies explicit backpressure, enforces per-request deadlines,
+and is judged on sustained throughput and tail latency (p50/p95/p99).
+
+Architecture::
+
+    replay(requests, arrivals)        open-loop arrival clock
+        -> StreamGateway.submit()     bounded queue, reject-or-block
+            -> worker tasks (async)   deadline check, dispatch
+                -> Executor pool      execute_request in process/thread
+        <- asyncio.Future[RunSummary] per request, resolved on completion
+
+* **Backpressure.**  The request queue is bounded (``queue_cap``).  Policy
+  ``"reject"`` resolves the request immediately with a ``status ==
+  "rejected"`` summary when the queue is full — load shedding, the
+  open-loop default.  Policy ``"block"`` awaits queue space, propagating
+  backpressure into the submitter (what a closed-loop client sees).
+* **Deadlines.**  A request carries ``deadline_ms`` (or inherits the
+  gateway default).  A request whose deadline expires while queued is
+  cancelled without executing; one that exceeds its remaining budget
+  mid-run is abandoned (``status == "cancelled"``).  Abandonment drops the
+  result but cannot retract work already submitted to a pool worker — that
+  worker finishes the stale run and only then takes new work, exactly the
+  slot-occupancy cost a real service pays for late cancellation.
+* **Warm workers.**  The process backend ships the parent's
+  :class:`~repro.core.context.PlanCache` snapshot to every pool worker at
+  start (same ``snapshot()/warm()`` machinery as the batch service), and
+  :func:`structural_warmup` pre-populates the parent cache from one
+  representative request per distinct structural group.  The thread
+  backend shares the process-wide plan cache outright — it exists for
+  environments where process pools are unavailable (restricted sandboxes,
+  embedded interpreters); the GIL serializes pure-Python execution, so it
+  trades throughput for portability.
+* **Metrics.**  :class:`StreamMetrics` records latency/queue-wait/service
+  histograms (:class:`~repro.core.metrics.LatencyHistogram`), status
+  counters and queue-depth extrema; :class:`StreamReport` rolls them up
+  with the order-independent digest shared with the batch service, so
+  "streaming == batch == sequential" is a one-line comparison.
+
+Command line::
+
+    python -m repro.service.stream --rate 8 --duration 2 --workers 2
+    python -m repro.service.stream --rate 0 --requests 64 --workers 4 \
+        --backend process --selfcheck --json   # saturated throughput mode
+
+See DESIGN.md section 7 for the semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..core.context import plan_cache
+from ..core.engine import RunRequest, RunSummary, available_engines
+from ..core.metrics import LatencyHistogram
+from ..scenarios.generators import DEFAULT_MIX, arrival_times, mixed_batch
+from .batch import (
+    BatchService,
+    _warm_worker,
+    execute_request,
+    requests_from_scenarios,
+    structural_key,
+    summaries_digest,
+)
+
+__all__ = [
+    "STATUS_CANCELLED",
+    "STATUS_COMPLETED",
+    "STATUS_REJECTED",
+    "StreamGateway",
+    "StreamMetrics",
+    "StreamReport",
+    "replay",
+    "serve",
+    "structural_warmup",
+]
+
+#: Request lifecycle values carried in ``RunSummary.status``.
+STATUS_COMPLETED = "completed"
+STATUS_REJECTED = "rejected"
+STATUS_CANCELLED = "cancelled"
+
+BACKENDS = ("process", "thread")
+POLICIES = ("reject", "block")
+
+
+def structural_warmup(
+    requests: Sequence[RunRequest], max_runs: int = 16
+) -> List[RunSummary]:
+    """Warm the parent plan cache from structural representatives.
+
+    Runs one request per distinct ``(kind, family, n, algorithm, engine)``
+    group — capped at ``max_runs`` — in the calling process, so the plans
+    they build land in the process-wide cache before a gateway starts (the
+    process backend then ships the snapshot to its workers).  Unlike the
+    batch service's prefetch pass these runs are *not* part of any stream:
+    a stream has no fixed membership to splice results into, so warmup here
+    is paid once at startup, like a service loading its models.
+    """
+    seen = set()
+    out: List[RunSummary] = []
+    for req in requests:
+        key = structural_key(req)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(execute_request(req))
+        if len(out) >= max_runs:
+            break
+    return out
+
+
+class StreamMetrics:
+    """The gateway's metrics core: histograms, counters, queue depth."""
+
+    def __init__(self) -> None:
+        self.latency = LatencyHistogram()
+        self.queue_wait = LatencyHistogram()
+        self.service = LatencyHistogram()
+        self.offered = 0
+        self.completed = 0
+        self.rejected = 0
+        self.cancelled = 0
+        #: completed runs whose verification/bounds judgement failed.
+        self.failed = 0
+        self.queue_depth_max = 0
+        self._depth_sum = 0
+        self._depth_samples = 0
+
+    def observe_depth(self, depth: int) -> None:
+        if depth > self.queue_depth_max:
+            self.queue_depth_max = depth
+        self._depth_sum += depth
+        self._depth_samples += 1
+
+    @property
+    def queue_depth_mean(self) -> float:
+        if not self._depth_samples:
+            return 0.0
+        return self._depth_sum / self._depth_samples
+
+    def observe(self, summary: RunSummary) -> None:
+        """Fold one resolved summary into the counters and histograms."""
+        if summary.status == STATUS_REJECTED:
+            self.rejected += 1
+            return
+        self.queue_wait.record(summary.queue_s)
+        self.latency.record(summary.latency_s)
+        if summary.status == STATUS_CANCELLED:
+            self.cancelled += 1
+            return
+        self.service.record(summary.latency_s - summary.queue_s)
+        self.completed += 1
+        if not summary.ok:
+            self.failed += 1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "failed": self.failed,
+            "queue_depth_max": self.queue_depth_max,
+            "queue_depth_mean": round(self.queue_depth_mean, 2),
+            "latency": self.latency.summary(),
+            "queue_wait": self.queue_wait.summary(),
+            "service": self.service.summary(),
+        }
+
+
+@dataclass
+class _Ticket:
+    """One enqueued request: envelope, enqueue timestamp, result future."""
+
+    request: RunRequest
+    enqueued_at: float
+    future: "asyncio.Future[RunSummary]"
+
+
+class StreamGateway:
+    """Long-lived asyncio front end over a warm executor pool.
+
+    Args:
+        workers: concurrent in-flight executions (async worker tasks, and
+            the executor pool size).
+        engine: default engine name stamped on requests with
+            ``engine=None``.
+        backend: ``"process"`` (a ``ProcessPoolExecutor`` with plan-cache
+            warm workers — the throughput configuration) or ``"thread"``
+            (portable, GIL-serialized).
+        queue_cap: bound on the request queue — the backpressure knob.
+        policy: ``"reject"`` (shed load when the queue is full) or
+            ``"block"`` (make ``submit`` await space).
+        deadline_ms: default per-request latency budget; a request's own
+            ``deadline_ms`` wins.  ``None`` means no deadline.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        engine: str = "fast",
+        backend: str = "process",
+        queue_cap: int = 64,
+        policy: str = "reject",
+        deadline_ms: Optional[float] = None,
+    ) -> None:
+        if engine not in available_engines():
+            raise ValueError(
+                f"unknown engine {engine!r}; available: "
+                f"{', '.join(available_engines())}"
+            )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; want one of {BACKENDS}"
+            )
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; want one of {POLICIES}"
+            )
+        if workers < 1:
+            raise ValueError("stream gateway needs workers >= 1")
+        if queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1")
+        self.workers = int(workers)
+        self.engine = engine
+        self.backend = backend
+        self.queue_cap = int(queue_cap)
+        self.policy = policy
+        self.deadline_ms = deadline_ms
+        self.metrics = StreamMetrics()
+        self._queue: Optional["asyncio.Queue[_Ticket]"] = None
+        self._pool: Optional[Executor] = None
+        self._tasks: List["asyncio.Task[None]"] = []
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "StreamGateway":
+        """Build the executor pool and spawn the worker tasks."""
+        if self._pool is not None:
+            raise RuntimeError("gateway already started")
+        if self._closed:
+            # A closed gateway never accepts submissions again; starting a
+            # pool for it would leak processes and tasks.  One gateway, one
+            # lifecycle.
+            raise RuntimeError("gateway already closed; build a new one")
+        if self.backend == "process":
+            # Warm every pool worker from the parent's plan-cache snapshot
+            # (whatever structural_warmup / earlier runs left resident).
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_warm_worker,
+                initargs=(plan_cache().snapshot(),),
+            )
+        else:
+            # Threads share the process-wide plan cache; no shipping needed.
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        self._queue = asyncio.Queue(maxsize=self.queue_cap)
+        self._tasks = [
+            asyncio.create_task(self._worker(), name=f"stream-worker-{i}")
+            for i in range(self.workers)
+        ]
+        return self
+
+    async def drain(self) -> None:
+        """Wait until every enqueued request has been resolved."""
+        if self._queue is not None:
+            await self._queue.join()
+
+    async def close(self) -> None:
+        """Drain the queue, stop the workers, shut the pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        await self.drain()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    async def __aenter__(self) -> "StreamGateway":
+        return await self.start()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, request: RunRequest) -> "asyncio.Future[RunSummary]":
+        """Enqueue one request; returns the future of its summary.
+
+        Under the ``"reject"`` policy the returned future may already be
+        resolved (with a ``status == "rejected"`` summary) — submission
+        itself never blocks.  Under ``"block"`` this coroutine suspends
+        until the queue has room.
+        """
+        if self._queue is None or self._closed:
+            raise RuntimeError("gateway is not running")
+        req = (
+            request
+            if request.engine is not None
+            else replace(request, engine=self.engine)
+        )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[RunSummary]" = loop.create_future()
+        self.metrics.offered += 1
+        now = time.perf_counter()
+        ticket = _Ticket(req, now, future)
+        if self.policy == "reject" and self._queue.full():
+            summary = RunSummary(
+                request=req,
+                ok=False,
+                status=STATUS_REJECTED,
+                error=(
+                    f"backpressure: queue full "
+                    f"(cap {self.queue_cap}, policy reject)"
+                ),
+            )
+            self.metrics.observe(summary)
+            future.set_result(summary)
+            return future
+        await self._queue.put(ticket)  # suspends only under "block"
+        self.metrics.observe_depth(self._queue.qsize())
+        return future
+
+    # -- workers -------------------------------------------------------------
+
+    def _deadline_s(self, req: RunRequest) -> Optional[float]:
+        ms = req.deadline_ms if req.deadline_ms is not None else self.deadline_ms
+        if ms is None or ms <= 0:
+            return None
+        return ms / 1000.0
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            ticket = await self._queue.get()
+            try:
+                try:
+                    summary = await self._process(ticket)
+                except Exception as exc:
+                    # Infrastructure failure (e.g. BrokenProcessPool after a
+                    # pool child is OOM-killed, pickling errors).  The ticket
+                    # MUST still resolve — an unresolved future deadlocks
+                    # serve() — and the worker task must survive to fail the
+                    # remaining backlog fast rather than hang it.
+                    summary = RunSummary(
+                        request=ticket.request,
+                        ok=False,
+                        status=STATUS_COMPLETED,
+                        latency_s=time.perf_counter() - ticket.enqueued_at,
+                        error=f"executor failure: {type(exc).__name__}: {exc}",
+                    )
+                self.metrics.observe(summary)
+                if not ticket.future.done():
+                    ticket.future.set_result(summary)
+            finally:
+                self._queue.task_done()
+
+    async def _process(self, ticket: _Ticket) -> RunSummary:
+        req = ticket.request
+        started = time.perf_counter()
+        waited = started - ticket.enqueued_at
+        deadline_s = self._deadline_s(req)
+        if deadline_s is not None and waited >= deadline_s:
+            return RunSummary(
+                request=req,
+                ok=False,
+                status=STATUS_CANCELLED,
+                queue_s=waited,
+                latency_s=waited,
+                error=(
+                    f"deadline: expired after {waited * 1e3:.1f}ms in queue "
+                    f"(budget {deadline_s * 1e3:.0f}ms)"
+                ),
+            )
+        budget = None if deadline_s is None else deadline_s - waited
+        loop = asyncio.get_running_loop()
+        call = loop.run_in_executor(self._pool, execute_request, req)
+        try:
+            summary = await asyncio.wait_for(call, timeout=budget)
+        except asyncio.TimeoutError:
+            total = time.perf_counter() - ticket.enqueued_at
+            return RunSummary(
+                request=req,
+                ok=False,
+                status=STATUS_CANCELLED,
+                queue_s=waited,
+                latency_s=total,
+                error=(
+                    f"deadline: exceeded mid-run after {total * 1e3:.1f}ms "
+                    f"(budget {deadline_s * 1e3:.0f}ms); result abandoned"
+                ),
+            )
+        return replace(
+            summary,
+            status=STATUS_COMPLETED,
+            queue_s=waited,
+            latency_s=time.perf_counter() - ticket.enqueued_at,
+        )
+
+
+async def replay(
+    gateway: StreamGateway,
+    requests: Sequence[RunRequest],
+    arrivals: Sequence[float],
+) -> List["asyncio.Future[RunSummary]"]:
+    """Open-loop load generator: submit each request at its arrival time.
+
+    ``arrivals[i]`` is request ``i``'s offset (seconds) from the replay
+    start; the clock does not wait for completions, so a slow gateway
+    falls behind and the backpressure policy decides what happens.  Under
+    the ``"block"`` policy a full queue stalls the clock itself — the
+    closed-loop degradation a blocking client experiences.
+    """
+    if len(requests) != len(arrivals):
+        raise ValueError(
+            f"{len(requests)} requests but {len(arrivals)} arrival times"
+        )
+    t0 = time.perf_counter()
+    futures: List["asyncio.Future[RunSummary]"] = []
+    for req, at in zip(requests, arrivals):
+        delay = t0 + at - time.perf_counter()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        else:
+            # Even a saturated replay must yield so worker tasks can run.
+            await asyncio.sleep(0)
+        futures.append(await gateway.submit(req))
+    return futures
+
+
+@dataclass
+class StreamReport:
+    """Aggregate view of one replayed stream."""
+
+    summaries: List[RunSummary]
+    wall_s: float
+    backend: str
+    workers: int
+    queue_cap: int
+    policy: str
+    deadline_ms: Optional[float]
+    engine: str
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> List[RunSummary]:
+        return [s for s in self.summaries if s.status == STATUS_COMPLETED]
+
+    @property
+    def rejected(self) -> List[RunSummary]:
+        return [s for s in self.summaries if s.status == STATUS_REJECTED]
+
+    @property
+    def cancelled(self) -> List[RunSummary]:
+        return [s for s in self.summaries if s.status == STATUS_CANCELLED]
+
+    @property
+    def failures(self) -> List[RunSummary]:
+        """Completed runs that failed verification/bounds judgement."""
+        return [s for s in self.completed if not s.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Every run that completed passed its judgement.
+
+        Rejections and cancellations are *policy outcomes* of an overloaded
+        stream, not correctness failures; they are reported separately.
+        """
+        return not self.failures
+
+    @property
+    def throughput(self) -> float:
+        """Completed instances per wall-clock second (sustained)."""
+        return len(self.completed) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def stream_digest(self) -> str:
+        """Order-independent digest over the *completed* runs.
+
+        Same fold as :meth:`BatchReport.batch_digest`, so a loss-free
+        stream (no rejections/cancellations) over a request set must equal
+        the batch digest of any backend over that set.
+        """
+        return summaries_digest(self.completed)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "queue_cap": self.queue_cap,
+            "policy": self.policy,
+            "deadline_ms": self.deadline_ms,
+            "engine": self.engine,
+            "ok": self.ok,
+            "offered": len(self.summaries),
+            "completed": len(self.completed),
+            "rejected": len(self.rejected),
+            "cancelled": len(self.cancelled),
+            "failed": len(self.failures),
+            "wall_s": round(self.wall_s, 4),
+            "throughput_per_s": round(self.throughput, 2),
+            "stream_digest": self.stream_digest(),
+            "metrics": self.metrics,
+            "failures": [
+                {"request": s.request.name, "error": s.error}
+                for s in self.failures
+            ],
+        }
+
+
+def serve(
+    requests: Sequence[RunRequest],
+    arrivals: Sequence[float],
+    *,
+    workers: int = 2,
+    engine: str = "fast",
+    backend: str = "process",
+    queue_cap: int = 64,
+    policy: str = "reject",
+    deadline_ms: Optional[float] = None,
+    warmup: bool = True,
+) -> StreamReport:
+    """Run one full open-loop stream to completion (sync entry point).
+
+    Warms the parent plan cache from structural representatives (shipped
+    to process-backend workers), replays the arrival timeline through a
+    fresh :class:`StreamGateway`, drains it, and rolls up the report.
+    """
+    if warmup:
+        structural_warmup(
+            [
+                req if req.engine is not None else replace(req, engine=engine)
+                for req in requests
+            ]
+        )
+
+    async def _main() -> StreamReport:
+        gateway = StreamGateway(
+            workers=workers,
+            engine=engine,
+            backend=backend,
+            queue_cap=queue_cap,
+            policy=policy,
+            deadline_ms=deadline_ms,
+        )
+        async with gateway:
+            t0 = time.perf_counter()
+            futures = await replay(gateway, requests, arrivals)
+            await gateway.drain()
+            wall = time.perf_counter() - t0
+            summaries = [await f for f in futures]
+        return StreamReport(
+            summaries=summaries,
+            wall_s=wall,
+            backend=f"{backend}-stream",
+            workers=workers,
+            queue_cap=queue_cap,
+            policy=policy,
+            deadline_ms=deadline_ms,
+            engine=engine,
+            metrics=gateway.metrics.to_dict(),
+        )
+
+    return asyncio.run(_main())
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _render(report: StreamReport, arrivals_label: str) -> str:
+    from ..analysis import render_table
+
+    doc = report.to_dict()
+    metrics = doc["metrics"]
+    rows = []
+    for label in ("latency", "queue_wait", "service"):
+        h = metrics[label]
+        rows.append([
+            label,
+            h["count"],
+            f"{h['p50_ms']:.1f}",
+            f"{h['p95_ms']:.1f}",
+            f"{h['p99_ms']:.1f}",
+            f"{h['max_ms']:.1f}",
+        ])
+    table = render_table(
+        f"stream gateway [{report.backend}, workers={report.workers}, "
+        f"queue<={report.queue_cap}, policy={report.policy}]",
+        ["metric", "count", "p50 ms", "p95 ms", "p99 ms", "max ms"],
+        rows,
+    )
+    lines = [
+        table,
+        f"stream: {doc['offered']} offered ({arrivals_label}) -> "
+        f"{doc['completed']} completed, {doc['rejected']} rejected, "
+        f"{doc['cancelled']} cancelled, {doc['failed']} failed in "
+        f"{report.wall_s:.2f}s ({report.throughput:.1f} instances/s "
+        f"sustained)",
+        f"queue depth: max {metrics['queue_depth_max']}, "
+        f"mean {metrics['queue_depth_mean']}; digest "
+        f"{doc['stream_digest']}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.stream",
+        description=(
+            "Open-loop streaming gateway over the congested-clique "
+            "simulator: Poisson (or uniform/saturated) arrivals, bounded "
+            "queue with backpressure, per-request deadlines, tail-latency "
+            "metrics."
+        ),
+    )
+    parser.add_argument(
+        "--rate", type=float, default=8.0, metavar="R",
+        help="arrival rate per second; 0 = saturated (all at t=0)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=2.0, metavar="D",
+        help="seconds of offered arrivals; requests = rate * duration",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=None, metavar="N",
+        help="exact request count (overrides rate * duration)",
+    )
+    parser.add_argument(
+        "--arrivals", default="poisson",
+        choices=("poisson", "uniform", "saturated"),
+        help="arrival process (default: poisson; --rate 0 forces saturated)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="W",
+        help="concurrent executions / pool size (default 2)",
+    )
+    parser.add_argument(
+        "--queue-cap", type=int, default=64, metavar="Q",
+        help="request queue bound (default 64)",
+    )
+    parser.add_argument(
+        "--policy", default="reject", choices=POLICIES,
+        help="backpressure policy when the queue is full (default: reject)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="default per-request latency budget; omit for no deadline",
+    )
+    parser.add_argument(
+        "--backend", default="process", choices=BACKENDS,
+        help="executor backend (default: process)",
+    )
+    parser.add_argument(
+        "--engine", default="fast", choices=available_engines(),
+        help="execution engine for every run (default: fast)",
+    )
+    parser.add_argument(
+        "--scenario-mix", default=DEFAULT_MIX, metavar="MIX",
+        help="weighted kind/family:weight mix (see repro.service)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed for workloads and the arrival process (default 0)",
+    )
+    parser.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip the structural plan-cache warmup pass",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable report instead of tables",
+    )
+    parser.add_argument(
+        "--selfcheck", action="store_true",
+        help=(
+            "re-run the completed requests on the sequential batch backend "
+            "and require byte-identical digests (CI smoke mode)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    if args.requests is not None:
+        count = args.requests
+    elif args.rate <= 0:
+        parser.error(
+            "--rate 0 (saturated mode) has no arrival clock to derive a "
+            "request count from; give an explicit --requests"
+        )
+    else:
+        count = int(args.rate * args.duration)
+    if count < 1:
+        parser.error("need at least one request (--requests or rate*duration)")
+    process = "saturated" if args.rate <= 0 else args.arrivals
+    try:
+        scenarios = mixed_batch(count, mix=args.scenario_mix, seed0=args.seed)
+        arrivals = arrival_times(
+            process, max(args.rate, 1e-9), count, seed=args.seed
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    requests = requests_from_scenarios(scenarios, engine=args.engine)
+
+    report = serve(
+        requests,
+        arrivals,
+        workers=args.workers,
+        engine=args.engine,
+        backend=args.backend,
+        queue_cap=args.queue_cap,
+        policy=args.policy,
+        deadline_ms=args.deadline_ms,
+        warmup=not args.no_warmup,
+    )
+
+    doc = report.to_dict()
+    selfcheck_ok = True
+    if args.selfcheck:
+        done = [s.request for s in report.completed]
+        if done:
+            baseline = BatchService(workers=0, engine=args.engine).run_batch(
+                done
+            )
+            selfcheck_ok = (
+                baseline.ok
+                and baseline.batch_digest() == report.stream_digest()
+            )
+            doc["selfcheck"] = {
+                "sequential_digest": baseline.batch_digest(),
+                "match": selfcheck_ok,
+            }
+        else:
+            selfcheck_ok = False
+            doc["selfcheck"] = {"sequential_digest": "", "match": False}
+
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        label = f"{process} @ {args.rate:g}/s"
+        print(_render(report, label))
+        if args.selfcheck:
+            status = "match" if selfcheck_ok else "MISMATCH"
+            print(
+                f"selfcheck: sequential backend digest "
+                f"{doc['selfcheck']['sequential_digest']} -> {status}"
+            )
+
+    if not report.ok:
+        for s in report.failures:
+            print(f"FAIL {s.request.name}: {s.error}", file=sys.stderr)
+        return 1
+    if not selfcheck_ok:
+        print(
+            "selfcheck FAILED: stream and sequential backend disagree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Shared test configuration: hypothesis profiles for CI depth tiers.
+
+The tier-1 suite runs hypothesis at its default example counts; the
+nightly deep CI job exports ``HYPOTHESIS_PROFILE=nightly`` to widen the
+search (more examples, no per-example deadline — CI runners are noisy
+enough that deadline flakes would drown real signal).
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a test dependency
+    settings = None
+
+if settings is not None:
+    settings.register_profile("default", settings())
+    settings.register_profile(
+        "nightly", max_examples=500, deadline=None, print_blob=True
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

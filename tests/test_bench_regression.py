@@ -1,0 +1,161 @@
+"""The CI bench-regression gate (benchmarks/check_regression.py)."""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from check_regression import check, main  # noqa: E402
+
+BASELINE = {
+    "schema": 1,
+    "engines": {
+        "rows": [
+            {"workload": "skewed/naive", "n": 64, "bar": ">= 1.8",
+             "speedup": 2.4},
+            {"workload": "skewed/naive", "n": 128, "bar": ">= 2.5",
+             "speedup": 3.3},
+            {"workload": "balanced/lenzen", "n": 64, "bar": "(context)",
+             "speedup": 1.0},
+        ],
+    },
+    "data_plane": {
+        "warm_speedup_target": 2.0,
+        "rows": [
+            {"workload": "lenzen/uniform/reference", "n": 64, "speedup": 1.9,
+             "gated": False},
+            {"workload": "lenzen/uniform/fast", "n": 64, "speedup": 2.2,
+             "gated": True},
+        ],
+    },
+    "service": {
+        "speedup_target": 2.0,
+        "rows": [
+            {"backend": "sequential", "speedup": 1.0},
+            {"backend": "process-pool", "speedup": 2.4},
+        ],
+    },
+    "stream": {
+        "speedup_target": 2.0,
+        "rows": [
+            {"config": "sequential-batch", "speedup": 1.0},
+            {"config": "stream-saturated", "speedup": 2.3},
+            {"config": "stream-poisson@40/s", "speedup": None},
+        ],
+    },
+}
+
+
+def fresh_like_baseline():
+    doc = copy.deepcopy(BASELINE)
+    doc["service"]["speedup_gate_enforced"] = True
+    doc["stream"]["speedup_gate_enforced"] = True
+    return doc
+
+
+def test_identical_results_pass():
+    assert check(BASELINE, fresh_like_baseline()) == []
+
+
+def test_engine_bar_regression_fails():
+    fresh = fresh_like_baseline()
+    fresh["engines"]["rows"][1]["speedup"] = 2.1  # bar is >= 2.5
+    (failure,) = check(BASELINE, fresh)
+    assert "engines" in failure and "2.1" in failure and "2.5" in failure
+
+
+def test_context_rows_are_not_gated():
+    fresh = fresh_like_baseline()
+    fresh["engines"]["rows"][2]["speedup"] = 0.5  # "(context)" row
+    assert check(BASELINE, fresh) == []
+
+
+def test_missing_gated_row_fails():
+    fresh = fresh_like_baseline()
+    del fresh["engines"]["rows"][0]
+    (failure,) = check(BASELINE, fresh)
+    assert "missing" in failure
+
+
+def test_data_plane_regression_fails():
+    fresh = fresh_like_baseline()
+    fresh["data_plane"]["rows"][1]["speedup"] = 1.4
+    (failure,) = check(BASELINE, fresh)
+    assert "data_plane" in failure and "1.4" in failure
+
+
+def test_data_plane_ungated_rows_are_context():
+    # The reference-engine row routinely sits below the fast-engine target;
+    # only rows the bench marks "gated" are judged.
+    fresh = fresh_like_baseline()
+    fresh["data_plane"]["rows"][0]["speedup"] = 1.2
+    assert check(BASELINE, fresh) == []
+
+
+def test_throughput_sections_gate_on_best_row():
+    # The sequential row's speedup of 1.0 must not trip the gate: only the
+    # best (parallel) row is judged against the target.
+    fresh = fresh_like_baseline()
+    assert check(BASELINE, fresh) == []
+    fresh["stream"]["rows"][1]["speedup"] = 1.5
+    (failure,) = check(BASELINE, fresh)
+    assert "stream" in failure and "1.5" in failure
+
+
+def test_unenforced_gate_is_skipped():
+    # On < 4 CPUs the bench records speedup_gate_enforced=false; a low
+    # number there is a measurement artifact, not a regression.
+    fresh = fresh_like_baseline()
+    fresh["service"]["speedup_gate_enforced"] = False
+    fresh["service"]["rows"][1]["speedup"] = 0.9
+    assert check(BASELINE, fresh) == []
+
+
+def test_missing_gated_section_fails():
+    fresh = fresh_like_baseline()
+    del fresh["stream"]
+    (failure,) = check(BASELINE, fresh)
+    assert "stream" in failure and "missing" in failure
+
+
+def test_baseline_without_targets_passes_anything():
+    assert check({"schema": 1}, {"schema": 1}) == []
+    assert check({"notes": "hi"}, {}) == []
+
+
+def test_main_cli_roundtrip(tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    fresh_path = tmp_path / "fresh.json"
+    base_path.write_text(json.dumps(BASELINE))
+    fresh_path.write_text(json.dumps(fresh_like_baseline()))
+    code = main(["--baseline", str(base_path), "--fresh", str(fresh_path)])
+    assert code == 0
+    assert "passed" in capsys.readouterr().out
+
+    bad = fresh_like_baseline()
+    bad["data_plane"]["rows"][1]["speedup"] = 0.5
+    fresh_path.write_text(json.dumps(bad))
+    code = main(["--baseline", str(base_path), "--fresh", str(fresh_path)])
+    assert code == 1
+    assert "FAILED" in capsys.readouterr().err
+
+
+def test_against_the_committed_file():
+    # The committed BENCH_engines.json must be self-consistent: checked
+    # against itself as both baseline and fresh, no gate may fail.
+    committed = json.loads(
+        (Path(__file__).resolve().parent.parent / "BENCH_engines.json")
+        .read_text()
+    )
+    assert check(committed, committed) == []
+
+
+def test_load_rejects_non_object(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("[1, 2]")
+    with pytest.raises(ValueError, match="JSON object"):
+        main(["--baseline", str(path), "--fresh", str(path)])

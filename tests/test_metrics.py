@@ -76,3 +76,80 @@ def test_empty_report():
     report = collect_meters([])
     assert report.max_steps == 0
     assert report.max_peak_words == 0
+
+
+# -- latency histogram (the streaming gateway's metrics core) ----------------
+
+
+def test_latency_histogram_percentiles_track_known_distribution():
+    from repro.core.metrics import LatencyHistogram
+
+    h = LatencyHistogram()
+    # 1..1000 ms, uniformly: p50 ~ 500ms, p95 ~ 950ms, p99 ~ 990ms.
+    for i in range(1, 1001):
+        h.record(i / 1000.0)
+    assert h.count == 1000
+    assert abs(h.mean_s - 0.5005) < 1e-9
+    # Geometric buckets grow ~19% per step: accept one bucket of error.
+    assert 0.42 <= h.percentile(50) <= 0.60
+    assert 0.80 <= h.percentile(95) <= 1.0
+    assert 0.85 <= h.percentile(99) <= 1.0
+    assert h.percentile(0) == h.min_s
+    assert h.percentile(100) == h.max_s == 1.0
+
+
+def test_latency_histogram_merge_and_clamping():
+    from repro.core.metrics import LatencyHistogram
+
+    a = LatencyHistogram()
+    b = LatencyHistogram()
+    for _ in range(10):
+        a.record(0.010)
+        b.record(0.100)
+    a.merge(b)
+    assert a.count == 20
+    assert a.min_s == 0.010 and a.max_s == 0.100
+    assert 0.005 <= a.percentile(50) <= 0.05
+    # Out-of-span samples clamp instead of raising.
+    a.record(-1.0)
+    a.record(10_000.0)
+    assert a.count == 22
+    assert a.min_s == 0.0
+    assert a.max_s == 10_000.0
+
+
+def test_latency_histogram_empty_and_errors():
+    import pytest
+
+    from repro.core.metrics import LatencyHistogram
+
+    h = LatencyHistogram()
+    assert h.count == 0
+    assert h.percentile(50) == 0.0
+    assert h.mean_s == 0.0
+    summary = h.summary()
+    assert summary["count"] == 0
+    assert summary["p99_ms"] == 0.0
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        LatencyHistogram(low_s=1.0, high_s=0.5)
+    with pytest.raises(ValueError):
+        LatencyHistogram(growth=1.0)
+    other = LatencyHistogram(low_s=1e-3)
+    with pytest.raises(ValueError, match="different buckets"):
+        h.merge(other)
+
+
+def test_latency_histogram_summary_shape():
+    from repro.core.metrics import LatencyHistogram
+
+    h = LatencyHistogram()
+    for ms in (1, 2, 5, 40):
+        h.record(ms / 1000.0)
+    s = h.summary()
+    assert set(s) == {
+        "count", "mean_ms", "min_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+    }
+    assert s["count"] == 4
+    assert s["min_ms"] <= s["p50_ms"] <= s["p95_ms"] <= s["p99_ms"] <= s["max_ms"]

@@ -137,3 +137,49 @@ def test_runner_reports_budget_violation_as_failure():
         assert "round count" in outcome.error
     finally:
         del ALGORITHMS[("routing", name)]
+
+
+# -- arrival processes (the streaming gateway's open-loop clock) -------------
+
+
+def test_poisson_arrivals_deterministic_and_sorted():
+    from repro.scenarios import poisson_arrivals
+
+    a = poisson_arrivals(rate=50.0, count=200, seed=11)
+    b = poisson_arrivals(rate=50.0, count=200, seed=11)
+    assert a == b
+    assert len(a) == 200
+    assert all(t2 > t1 for t1, t2 in zip(a, a[1:]))
+    assert poisson_arrivals(50.0, 200, seed=12) != a
+    # Mean interarrival tracks 1/rate (loose statistical bound).
+    mean_gap = a[-1] / len(a)
+    assert 0.5 / 50.0 < mean_gap < 2.0 / 50.0
+
+
+def test_uniform_and_saturated_arrivals():
+    from repro.scenarios import saturated_arrivals, uniform_arrivals
+
+    u = uniform_arrivals(rate=10.0, count=4)
+    assert u == [0.1, 0.2, 0.30000000000000004, 0.4]
+    assert saturated_arrivals(3) == [0.0, 0.0, 0.0]
+    assert saturated_arrivals(0) == []
+
+
+def test_arrival_times_dispatch_and_errors():
+    import pytest
+
+    from repro.scenarios import arrival_times, poisson_arrivals
+
+    assert arrival_times("poisson", 5.0, 10, seed=3) == poisson_arrivals(
+        5.0, 10, seed=3
+    )
+    assert arrival_times("saturated", 5.0, 3) == [0.0, 0.0, 0.0]
+    assert len(arrival_times("uniform", 5.0, 3)) == 3
+    with pytest.raises(ValueError, match="unknown arrival process"):
+        arrival_times("bursty", 5.0, 3)
+    with pytest.raises(ValueError):
+        arrival_times("poisson", 0.0, 3)
+    with pytest.raises(ValueError):
+        arrival_times("uniform", -1.0, 3)
+    with pytest.raises(ValueError):
+        arrival_times("poisson", 1.0, -1)
