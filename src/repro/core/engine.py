@@ -49,6 +49,27 @@ from .metrics import (
     collect_meters,
 )
 
+#: Request lifecycle values carried in :attr:`RunSummary.status`.  The
+#: taxonomy is owned here — beside the envelopes — because every layer
+#: (batch service, streaming gateway, recording, chaos harness) must agree
+#: on what each value means:
+#:
+#: * ``STATUS_COMPLETED`` — the run executed to the end and was judged;
+#:   ``ok`` carries the verdict (a verification/bounds failure is still a
+#:   *completed* run).
+#: * ``STATUS_FAILED`` — the run never produced a judged result: the engine
+#:   crashed, the request could not be resolved, or the executor/pool died
+#:   underneath it.  Failed runs carry no output digest and must never be
+#:   folded into success latency percentiles or cross-backend digests.
+#: * ``STATUS_REJECTED`` — backpressure shed the request before it entered
+#:   the queue (streaming gateway only).
+#: * ``STATUS_CANCELLED`` — a deadline expired in the queue or mid-run, or
+#:   the gateway closed before the request could execute.
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+STATUS_REJECTED = "rejected"
+STATUS_CANCELLED = "cancelled"
+
 #: A per-node protocol: yields outboxes, receives inboxes, returns its output.
 NodeGen = Generator[Dict[int, Packet], Dict[int, Packet], Any]
 
@@ -137,11 +158,16 @@ class RunSummary:
     shared_cache_hits: int = 0
     shared_cache_misses: int = 0
     error: str = ""
-    #: lifecycle under the streaming gateway: ``"completed"`` (ran to the
-    #: end, ``ok`` carries the verdict), ``"rejected"`` (backpressure —
-    #: never entered the queue), or ``"cancelled"`` (deadline expired in
-    #: the queue or mid-run).  Batch-service summaries leave it ``""``.
+    #: lifecycle: one of the ``STATUS_*`` values above.  Every execution
+    #: path stamps it — :data:`STATUS_COMPLETED` for runs that executed to
+    #: a judged end, :data:`STATUS_FAILED` for runs that never produced a
+    #: result — so crashed runs are never mistaken for completions.
     status: str = ""
+
+    @property
+    def resolved(self) -> bool:
+        """The run executed to a judged end (its digest is meaningful)."""
+        return bool(self.digest)
     #: seconds spent waiting in the gateway queue before execution began.
     queue_s: float = 0.0
     #: submission-to-resolution seconds (queue wait + execution) as seen

@@ -399,6 +399,36 @@ def saturated_arrivals(count: int) -> List[float]:
     return [0.0] * count
 
 
+def recorded_arrivals(
+    offsets: List[float], timescale: float = 1.0
+) -> List[float]:
+    """Normalize captured arrival offsets into a replayable timeline.
+
+    A traffic capture (:mod:`repro.service.recording`) stamps each
+    request with its offset from the first recorded event; this turns
+    those raw offsets into a monotone, zero-based arrival list a replay
+    can feed straight into the gateway.  ``timescale`` stretches or
+    compresses the timeline (``0`` collapses it into a saturated
+    replay); negative gaps — a capture merged from interleaved writers —
+    clamp to zero rather than reordering requests, preserving the
+    recorded submission order.
+    """
+    if timescale < 0:
+        raise ValueError(f"timescale must be >= 0, got {timescale}")
+    if not offsets:
+        return []
+    base = offsets[0]
+    out = []
+    prev = 0.0
+    for off in offsets:
+        t = (off - base) * timescale
+        if t < prev:
+            t = prev
+        out.append(t)
+        prev = t
+    return out
+
+
 def arrival_times(
     process: str, rate: float, count: int, seed: int = 0
 ) -> List[float]:

@@ -15,15 +15,27 @@ Two front ends share the same envelopes, judgement and digests:
   deadlines, and records tail-latency histograms; judged on sustained
   throughput and p50/p95/p99, not batch wall-time.
 
+Two operational companions ride on the same envelopes:
+
+* :mod:`repro.service.recording` — append-only versioned traffic
+  captures (every request/summary plus arrival offsets) and
+  deterministic replay: trace-driven load tests, forensics.
+* :mod:`repro.service.chaos` — fault injection (worker kills, poison
+  requests, stragglers) against live gateways, gated on recovery,
+  digest correctness, and bounded p99.
+
 Command line::
 
     python -m repro.service --batch 256 --workers 4 --engine fast
     python -m repro.service.stream --rate 8 --duration 2 --workers 2
+    python -m repro.service.chaos --requests 24 --kills 1 --poisons 2
+    python -m repro.service.recording replay capture.jsonl
 
-See DESIGN.md sections 6 (batch) and 7 (stream) for the architecture.
+See DESIGN.md sections 6 (batch), 7 (stream) and 9 (recording/chaos).
 """
 
 from .batch import (
+    CHAOS_TAG_PREFIX,
     BatchReport,
     BatchService,
     ProcessPoolBackend,
@@ -33,13 +45,15 @@ from .batch import (
     summaries_digest,
 )
 
-#: Streaming-gateway names re-exported lazily (PEP 562).  Eagerly importing
-#: ``.stream`` here would put it in ``sys.modules`` before ``python -m
-#: repro.service.stream`` executes it as ``__main__``, running the module
-#: twice (and making runpy warn about exactly that).
+#: Submodule names re-exported lazily (PEP 562).  Eagerly importing
+#: ``.stream`` (or the recording/chaos CLIs) here would put them in
+#: ``sys.modules`` before ``python -m repro.service.stream`` executes them
+#: as ``__main__``, running the module twice (and making runpy warn about
+#: exactly that).
 _STREAM_EXPORTS = (
     "STATUS_CANCELLED",
     "STATUS_COMPLETED",
+    "STATUS_FAILED",
     "STATUS_REJECTED",
     "StreamGateway",
     "StreamMetrics",
@@ -49,15 +63,44 @@ _STREAM_EXPORTS = (
     "structural_warmup",
 )
 
+_RECORDING_EXPORTS = (
+    "Capture",
+    "CaptureError",
+    "CaptureWriter",
+    "Recorder",
+    "ReplayingBackend",
+    "load_capture",
+    "replay_capture",
+)
+
+_CHAOS_EXPORTS = (
+    "ChaosFault",
+    "ChaosPlan",
+    "ChaosReport",
+    "apply_fault",
+    "build_chaos_plan",
+    "inject",
+    "run_chaos",
+)
+
 
 def __getattr__(name: str):
     if name in _STREAM_EXPORTS:
         from . import stream
 
         return getattr(stream, name)
+    if name in _RECORDING_EXPORTS:
+        from . import recording
+
+        return getattr(recording, name)
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "CHAOS_TAG_PREFIX",
     "BatchReport",
     "BatchService",
     "ProcessPoolBackend",
@@ -65,13 +108,7 @@ __all__ = [
     "execute_request",
     "requests_from_scenarios",
     "summaries_digest",
-    "STATUS_CANCELLED",
-    "STATUS_COMPLETED",
-    "STATUS_REJECTED",
-    "StreamGateway",
-    "StreamMetrics",
-    "StreamReport",
-    "replay",
-    "serve",
-    "structural_warmup",
+    *_STREAM_EXPORTS,
+    *_RECORDING_EXPORTS,
+    *_CHAOS_EXPORTS,
 ]

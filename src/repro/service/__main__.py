@@ -97,6 +97,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--no-warmup", action="store_true",
         help="skip the structural prefetch / worker plan-cache warmup",
     )
+    parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help=(
+            "append every request/summary envelope to a capture file "
+            "(replay with python -m repro.service.recording)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -110,7 +117,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     service = BatchService(
         workers=args.workers, engine=args.engine, warmup=not args.no_warmup
     )
-    report = service.run_batch(requests)
+    if args.record is not None:
+        from .recording import Recorder
+
+        with Recorder(
+            args.record,
+            meta={
+                "source": "batch",
+                "workers": args.workers,
+                "engine": args.engine,
+            },
+        ) as recorder:
+            report = recorder.record_batch(service, requests)
+    else:
+        report = service.run_batch(requests)
 
     doc = report.to_dict()
     selfcheck_ok = True

@@ -35,18 +35,25 @@ from __future__ import annotations
 
 import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.context import plan_cache
-from ..core.engine import RunRequest, RunSummary, available_engines
+from ..core.engine import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    RunRequest,
+    RunSummary,
+    available_engines,
+)
 from ..scenarios.generators import Scenario
 from ..scenarios.runner import ScenarioOutcome, ScenarioRunner
 
 __all__ = [
     "BatchReport",
     "BatchService",
+    "CHAOS_TAG_PREFIX",
     "ProcessPoolBackend",
     "SequentialBackend",
     "execute_request",
@@ -55,18 +62,28 @@ __all__ = [
     "summaries_digest",
 ]
 
+#: Tag prefix that routes a request through the chaos fault injector
+#: (:mod:`repro.service.chaos`) before execution.
+CHAOS_TAG_PREFIX = "chaos:"
+
 
 def summaries_digest(summaries: Iterable[RunSummary]) -> str:
-    """Order-independent digest of every per-run output digest.
+    """Order-independent digest over the *resolved* per-run output digests.
 
     Byte-identical across backends, worker counts and scheduling — the
     cross-backend equivalence gate CI and the benches assert on.  The
     batch service and the streaming gateway both fold their summaries
     through here, which is what makes "streaming == batch == sequential"
     a one-line comparison.
+
+    Unresolved runs — crashed engines, dead pool workers, resolution
+    errors, anything with no output digest — are skipped, so the fold
+    covers exactly the runs that executed to a judged end.  That is the
+    chaos-harness invariant: the digest of the runs that *survived* a
+    fault must match a fault-free execution of those same requests.
     """
     blob = "\n".join(
-        sorted(f"{s.request.name} {s.digest}" for s in summaries)
+        sorted(f"{s.request.name} {s.digest}" for s in summaries if s.digest)
     ).encode()
     return hashlib.sha256(blob).hexdigest()[:16]
 
@@ -111,6 +128,7 @@ def _summarize(req: RunRequest, outcome: ScenarioOutcome) -> RunSummary:
     return RunSummary(
         request=req,
         ok=outcome.ok,
+        status=STATUS_COMPLETED,
         engine=outcome.engine,
         rounds=outcome.rounds,
         total_packets=outcome.total_packets,
@@ -131,20 +149,33 @@ def execute_request(req: RunRequest) -> RunSummary:
     reference engine) — when dispatching through :class:`BatchService`,
     unset engines are stamped with the service's default first.
 
-    Resolution errors (unknown family/algorithm/engine) are carried in the
-    summary's ``error`` field rather than raised: one malformed request must
-    not take down a shard of good ones.
+    Resolution errors (unknown family/algorithm/engine) and engine crashes
+    are carried in the summary's ``error`` field with ``status ==
+    STATUS_FAILED`` rather than raised: one malformed or poisoned request
+    must not take down a shard of good ones.
+
+    Requests whose ``tag`` starts with ``"chaos:"`` route through the
+    fault injector first (:func:`repro.service.chaos.apply_fault`) — the
+    tag travels inside the picklable envelope, so a fault fires in
+    whatever process executes the request, with no worker-side setup.
     """
     try:
+        if req.tag.startswith(CHAOS_TAG_PREFIX):
+            from .chaos import apply_fault
+
+            apply_fault(req.tag)
         scenario = Scenario(req.kind, req.family, req.n, req.seed)
         outcome = _RUNNER.run(
             scenario,
             algorithm=req.algorithm,
             engine=req.engine if req.engine is not None else "reference",
         )
-    except Exception as exc:  # resolution/registry errors, not run errors
+    except Exception as exc:  # resolution/registry errors or engine crashes
         return RunSummary(
-            request=req, ok=False, error=f"{type(exc).__name__}: {exc}"
+            request=req,
+            ok=False,
+            status=STATUS_FAILED,
+            error=f"{type(exc).__name__}: {exc}",
         )
     return _summarize(req, outcome)
 
@@ -182,6 +213,18 @@ class ProcessPoolBackend:
         chunk: requests per task; ``None`` picks ``ceil(batch / (4 *
             workers))`` capped at 32 — large enough to amortize IPC, small
             enough to keep the pool balanced and summaries streaming.
+
+    **Pool-death semantics.**  When a worker process dies mid-batch (OOM
+    kill, segfault, a chaos ``kill`` fault), ``ProcessPoolExecutor`` breaks
+    the *whole* pool: every pending future raises ``BrokenExecutor``.
+    Instead of propagating — which would discard every already-judged
+    summary — the backend marks the chunk whose future surfaced the
+    breakage as :data:`~repro.core.engine.STATUS_FAILED`, rebuilds the
+    pool, and resubmits the chunks that had not yet been consumed.  A
+    chunk is never resubmitted after its own failure, so a poison chunk
+    that kills every pool it touches converges: each rebuild retires at
+    least one chunk.  The batch digest is unaffected by the failed chunks
+    (:func:`summaries_digest` folds only resolved runs).
     """
 
     name = "process-pool"
@@ -196,10 +239,16 @@ class ProcessPoolBackend:
             raise ValueError("process pool needs workers >= 1")
         self.workers = workers
         self.chunk = chunk
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
+        self._warm_plans = warm_plans or {}
+        #: pools rebuilt after mid-batch breakage (chaos gates read this).
+        self.pool_replacements = 0
+        self._pool = self._build_pool()
+
+    def _build_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
             initializer=_warm_worker,
-            initargs=(warm_plans or {},),
+            initargs=(self._warm_plans,),
         )
 
     def _chunk_size(self, batch: int) -> int:
@@ -212,9 +261,37 @@ class ProcessPoolBackend:
         chunks = [
             list(requests[i:i + size]) for i in range(0, len(requests), size)
         ]
-        futures = [self._pool.submit(_execute_chunk, c) for c in chunks]
-        for future in futures:
-            yield from future.result()
+        pending = [(c, self._pool.submit(_execute_chunk, c)) for c in chunks]
+        i = 0
+        while i < len(pending):
+            chunk, future = pending[i]
+            try:
+                results = future.result()
+            except BrokenExecutor as exc:
+                for req in chunk:
+                    yield RunSummary(
+                        request=req,
+                        ok=False,
+                        status=STATUS_FAILED,
+                        error=(
+                            f"worker pool died mid-batch: "
+                            f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+                # The dead pool poisons every outstanding future; rebuild
+                # once and resubmit the chunks not yet consumed (re-running
+                # a chunk is safe — execution is deterministic and
+                # side-effect free).  The failed chunk itself is retired.
+                self._pool.shutdown(wait=False)
+                self._pool = self._build_pool()
+                self.pool_replacements += 1
+                pending[i + 1:] = [
+                    (c, self._pool.submit(_execute_chunk, c))
+                    for c, _ in pending[i + 1:]
+                ]
+            else:
+                yield from results
+            i += 1
 
     def close(self) -> None:
         self._pool.shutdown()
@@ -231,10 +308,17 @@ class BatchReport:
     warmed_plans: int = 0
     prefetch_runs: int = 0
     plan_cache_stats: Tuple[int, int, int] = (0, 0, 0)
+    #: worker pools rebuilt after mid-batch breakage (0 on a healthy run).
+    pool_replacements: int = 0
 
     @property
     def ok(self) -> bool:
         return bool(self.summaries) and all(s.ok for s in self.summaries)
+
+    @property
+    def unresolved(self) -> List[RunSummary]:
+        """Runs that never executed to a judged end (no output digest)."""
+        return [s for s in self.summaries if not s.resolved]
 
     @property
     def failures(self) -> List[RunSummary]:
@@ -252,9 +336,10 @@ class BatchReport:
         return hits / (hits + misses) if hits + misses else 0.0
 
     def batch_digest(self) -> str:
-        """Order-independent digest of every per-run output digest.
+        """Order-independent digest over the resolved runs' output digests.
 
-        See :func:`summaries_digest` — shared with the streaming gateway.
+        See :func:`summaries_digest` — shared with the streaming gateway;
+        covers exactly the runs that executed to a judged end.
         """
         return summaries_digest(self.summaries)
 
@@ -288,6 +373,8 @@ class BatchReport:
             "total_packets": sum(s.total_packets for s in self.summaries),
             "total_words": sum(s.total_words for s in self.summaries),
             "shared_cache_hit_rate": round(self.shared_cache_hit_rate, 4),
+            "unresolved": len(self.unresolved),
+            "pool_replacements": self.pool_replacements,
             "plan_cache": {
                 "hits": hits,
                 "misses": misses,
@@ -366,6 +453,11 @@ class BatchService:
         seen = set()
         picks = []
         for i, req in enumerate(requests):
+            if req.tag.startswith(CHAOS_TAG_PREFIX):
+                # Prefetch executes in the parent process; a chaos fault
+                # (worst case ``chaos:kill``) must only ever fire behind
+                # the executor boundary, in a disposable pool worker.
+                continue
             key = structural_key(req)
             if key not in seen:
                 seen.add(key)
@@ -420,6 +512,8 @@ class BatchService:
                 else:
                     yield req, next(pooled)
         finally:
+            if _info is not None:
+                _info["pool_replacements"] = backend.pool_replacements
             backend.close()
 
     def run_batch(self, requests: Iterable[RunRequest]) -> BatchReport:
@@ -442,4 +536,5 @@ class BatchService:
             warmed_plans=info.get("warmed", 0),
             prefetch_runs=info.get("prefetch_runs", 0),
             plan_cache_stats=(hits1 - hits0, misses1 - misses0, size1),
+            pool_replacements=info.get("pool_replacements", 0),
         )

@@ -59,15 +59,29 @@ import asyncio
 import json
 import sys
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.context import plan_cache
-from ..core.engine import RunRequest, RunSummary, available_engines
+from ..core.engine import (
+    STATUS_CANCELLED,
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    STATUS_REJECTED,
+    RunRequest,
+    RunSummary,
+    available_engines,
+)
 from ..core.metrics import LatencyHistogram
 from ..scenarios.generators import DEFAULT_MIX, arrival_times, mixed_batch
 from .batch import (
+    CHAOS_TAG_PREFIX,
     BatchService,
     _warm_worker,
     execute_request,
@@ -79,6 +93,7 @@ from .batch import (
 __all__ = [
     "STATUS_CANCELLED",
     "STATUS_COMPLETED",
+    "STATUS_FAILED",
     "STATUS_REJECTED",
     "StreamGateway",
     "StreamMetrics",
@@ -87,11 +102,6 @@ __all__ = [
     "serve",
     "structural_warmup",
 ]
-
-#: Request lifecycle values carried in ``RunSummary.status``.
-STATUS_COMPLETED = "completed"
-STATUS_REJECTED = "rejected"
-STATUS_CANCELLED = "cancelled"
 
 BACKENDS = ("process", "thread")
 POLICIES = ("reject", "block")
@@ -113,6 +123,12 @@ def structural_warmup(
     seen = set()
     out: List[RunSummary] = []
     for req in requests:
+        if req.tag.startswith(CHAOS_TAG_PREFIX):
+            # Warmup executes in the calling process: a chaos fault here
+            # (worst case ``chaos:kill``) would take down the gateway's
+            # parent instead of a disposable pool worker.  Faults only
+            # ever fire behind the executor boundary.
+            continue
         key = structural_key(req)
         if key in seen:
             continue
@@ -130,12 +146,19 @@ class StreamMetrics:
         self.latency = LatencyHistogram()
         self.queue_wait = LatencyHistogram()
         self.service = LatencyHistogram()
+        #: latency of failed runs, kept out of the success histograms: a
+        #: crash that fails fast must not be allowed to *improve* p99.
+        self.failure_latency = LatencyHistogram()
         self.offered = 0
         self.completed = 0
         self.rejected = 0
         self.cancelled = 0
-        #: completed runs whose verification/bounds judgement failed.
+        #: runs that produced no judged result (STATUS_FAILED: engine
+        #: crashes, dead pool workers) plus completed runs whose
+        #: verification/bounds judgement failed.
         self.failed = 0
+        #: executor pools rebuilt after breakage (chaos recovery gate).
+        self.pool_replacements = 0
         self.queue_depth_max = 0
         self._depth_sum = 0
         self._depth_samples = 0
@@ -157,6 +180,13 @@ class StreamMetrics:
         if summary.status == STATUS_REJECTED:
             self.rejected += 1
             return
+        if summary.status == STATUS_FAILED:
+            # Failed runs never enter the success percentiles: a crashed
+            # worker answering in microseconds would otherwise drag p50
+            # down exactly when the service is at its sickest.
+            self.failed += 1
+            self.failure_latency.record(summary.latency_s)
+            return
         self.queue_wait.record(summary.queue_s)
         self.latency.record(summary.latency_s)
         if summary.status == STATUS_CANCELLED:
@@ -174,11 +204,13 @@ class StreamMetrics:
             "rejected": self.rejected,
             "cancelled": self.cancelled,
             "failed": self.failed,
+            "pool_replacements": self.pool_replacements,
             "queue_depth_max": self.queue_depth_max,
             "queue_depth_mean": round(self.queue_depth_mean, 2),
             "latency": self.latency.summary(),
             "queue_wait": self.queue_wait.summary(),
             "service": self.service.summary(),
+            "failure_latency": self.failure_latency.summary(),
         }
 
 
@@ -260,17 +292,7 @@ class StreamGateway:
             # pool for it would leak processes and tasks.  One gateway, one
             # lifecycle.
             raise RuntimeError("gateway already closed; build a new one")
-        if self.backend == "process":
-            # Warm every pool worker from the parent's plan-cache snapshot
-            # (whatever structural_warmup / earlier runs left resident).
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_warm_worker,
-                initargs=(plan_cache().snapshot(),),
-            )
-        else:
-            # Threads share the process-wide plan cache; no shipping needed.
-            self._pool = ThreadPoolExecutor(max_workers=self.workers)
+        self._pool = self._build_pool()
         self._queue = asyncio.Queue(maxsize=self.queue_cap)
         self._tasks = [
             asyncio.create_task(self._worker(), name=f"stream-worker-{i}")
@@ -278,10 +300,72 @@ class StreamGateway:
         ]
         return self
 
+    def _build_pool(self) -> Executor:
+        if self.backend == "process":
+            # Warm every pool worker from the parent's plan-cache snapshot
+            # (whatever structural_warmup / earlier runs left resident).
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_warm_worker,
+                initargs=(plan_cache().snapshot(),),
+            )
+        # Threads share the process-wide plan cache; no shipping needed.
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+    def _replace_pool(self, broken: Executor) -> None:
+        """Swap a broken executor pool for a fresh warm one.
+
+        A dead pool child breaks the whole ``ProcessPoolExecutor``: every
+        in-flight and future submission raises ``BrokenExecutor``.  The
+        in-flight requests are already lost (their workers fail them as
+        :data:`STATUS_FAILED`), but the gateway itself must outlive the
+        pool — a long-lived service cannot answer every request after one
+        crash with "broken pool".  Guarded by identity: several worker
+        tasks observe the same breakage in the same event-loop iteration,
+        and only the first one rebuilds (no awaits between check and swap,
+        so the check cannot interleave).
+        """
+        if self._closed or self._pool is not broken:
+            return
+        broken.shutdown(wait=False)
+        self._pool = self._build_pool()
+        self.metrics.pool_replacements += 1
+
     async def drain(self) -> None:
         """Wait until every enqueued request has been resolved."""
         if self._queue is not None:
             await self._queue.join()
+
+    def _resolve_stragglers(self) -> None:
+        """Fail any ticket still queued after the workers are gone.
+
+        ``asyncio.Queue.join`` performs a single un-rechecked wait on its
+        "all tasks done" event, so a submitter suspended in ``put`` under
+        the ``block`` policy can slip a ticket into the queue in the same
+        event-loop iteration that wakes ``drain()`` — after which no
+        worker will ever pick it up.  Both ``close()`` and the post-put
+        re-check in :meth:`submit` funnel such tickets here: resolve with
+        a cancelled summary and balance the queue's task counter so a
+        later ``drain()`` cannot hang either.
+        """
+        if self._queue is None:
+            return
+        while True:
+            try:
+                ticket = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            summary = RunSummary(
+                request=ticket.request,
+                ok=False,
+                status=STATUS_CANCELLED,
+                latency_s=time.perf_counter() - ticket.enqueued_at,
+                error="gateway closed before the request could execute",
+            )
+            self.metrics.observe(summary)
+            if not ticket.future.done():
+                ticket.future.set_result(summary)
+            self._queue.task_done()
 
     async def close(self) -> None:
         """Drain the queue, stop the workers, shut the pool down."""
@@ -293,6 +377,11 @@ class StreamGateway:
             task.cancel()
         await asyncio.gather(*self._tasks, return_exceptions=True)
         self._tasks = []
+        # A blocked submitter may have enqueued between drain() waking and
+        # the workers being cancelled; its own post-put re-check resolves
+        # it, but only if it has run yet — sweep here as well so close()
+        # never leaves an unresolvable ticket behind.
+        self._resolve_stragglers()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -339,6 +428,13 @@ class StreamGateway:
             future.set_result(summary)
             return future
         await self._queue.put(ticket)  # suspends only under "block"
+        if self._closed:
+            # The gateway closed while this submitter was suspended in
+            # ``put``: drain() has already been released and the workers
+            # are (being) cancelled, so this ticket would never resolve.
+            # Fail it — and anything else stranded — right now.
+            self._resolve_stragglers()
+            return future
         self.metrics.observe_depth(self._queue.qsize())
         return future
 
@@ -355,6 +451,7 @@ class StreamGateway:
         while True:
             ticket = await self._queue.get()
             try:
+                pool = self._pool
                 try:
                     summary = await self._process(ticket)
                 except Exception as exc:
@@ -362,14 +459,18 @@ class StreamGateway:
                     # pool child is OOM-killed, pickling errors).  The ticket
                     # MUST still resolve — an unresolved future deadlocks
                     # serve() — and the worker task must survive to fail the
-                    # remaining backlog fast rather than hang it.
+                    # remaining backlog fast rather than hang it.  The run
+                    # is FAILED, not completed: it produced no result, and
+                    # mislabeling it would poison digests and percentiles.
                     summary = RunSummary(
                         request=ticket.request,
                         ok=False,
-                        status=STATUS_COMPLETED,
+                        status=STATUS_FAILED,
                         latency_s=time.perf_counter() - ticket.enqueued_at,
                         error=f"executor failure: {type(exc).__name__}: {exc}",
                     )
+                    if isinstance(exc, BrokenExecutor):
+                        self._replace_pool(pool)
                 self.metrics.observe(summary)
                 if not ticket.future.done():
                     ticket.future.set_result(summary)
@@ -411,9 +512,17 @@ class StreamGateway:
                     f"(budget {deadline_s * 1e3:.0f}ms); result abandoned"
                 ),
             )
+        # execute_request stamps STATUS_FAILED on runs that crashed inside
+        # the worker (poison requests, resolution errors); everything else
+        # ran to a judged end.  Preserve the failure label — the gateway
+        # only adds its own timing.
         return replace(
             summary,
-            status=STATUS_COMPLETED,
+            status=(
+                summary.status
+                if summary.status == STATUS_FAILED
+                else STATUS_COMPLETED
+            ),
             queue_s=waited,
             latency_s=time.perf_counter() - ticket.enqueued_at,
         )
@@ -476,16 +585,22 @@ class StreamReport:
         return [s for s in self.summaries if s.status == STATUS_CANCELLED]
 
     @property
+    def failed(self) -> List[RunSummary]:
+        """Runs that produced no judged result (crashes, dead workers)."""
+        return [s for s in self.summaries if s.status == STATUS_FAILED]
+
+    @property
     def failures(self) -> List[RunSummary]:
-        """Completed runs that failed verification/bounds judgement."""
-        return [s for s in self.completed if not s.ok]
+        """Failed runs plus completed runs whose judgement failed."""
+        return self.failed + [s for s in self.completed if not s.ok]
 
     @property
     def ok(self) -> bool:
-        """Every run that completed passed its judgement.
+        """Every run either completed with a passing judgement or was shed.
 
         Rejections and cancellations are *policy outcomes* of an overloaded
         stream, not correctness failures; they are reported separately.
+        Failed runs (engine crashes, executor breakage) are failures.
         """
         return not self.failures
 
@@ -539,12 +654,19 @@ def serve(
     policy: str = "reject",
     deadline_ms: Optional[float] = None,
     warmup: bool = True,
+    record: Optional[str] = None,
 ) -> StreamReport:
     """Run one full open-loop stream to completion (sync entry point).
 
     Warms the parent plan cache from structural representatives (shipped
     to process-backend workers), replays the arrival timeline through a
     fresh :class:`StreamGateway`, drains it, and rolls up the report.
+
+    ``record`` names a capture file: every submitted request (with its
+    observed arrival offset) and every resolved summary is appended to it
+    through a :class:`~repro.service.recording.Recorder`, so the run can
+    be re-fed deterministically later (trace-driven load tests, chaos
+    forensics).
     """
     if warmup:
         structural_warmup(
@@ -555,6 +677,22 @@ def serve(
         )
 
     async def _main() -> StreamReport:
+        recorder = None
+        if record is not None:
+            from .recording import Recorder
+
+            recorder = Recorder(
+                record,
+                meta={
+                    "source": "stream",
+                    "workers": workers,
+                    "engine": engine,
+                    "backend": backend,
+                    "queue_cap": queue_cap,
+                    "policy": policy,
+                    "deadline_ms": deadline_ms,
+                },
+            )
         gateway = StreamGateway(
             workers=workers,
             engine=engine,
@@ -563,12 +701,21 @@ def serve(
             policy=policy,
             deadline_ms=deadline_ms,
         )
-        async with gateway:
-            t0 = time.perf_counter()
-            futures = await replay(gateway, requests, arrivals)
-            await gateway.drain()
-            wall = time.perf_counter() - t0
-            summaries = [await f for f in futures]
+        try:
+            async with gateway:
+                front = (
+                    gateway if recorder is None else recorder.attach(gateway)
+                )
+                t0 = time.perf_counter()
+                futures = await replay(front, requests, arrivals)
+                await gateway.drain()
+                wall = time.perf_counter() - t0
+                summaries = [await f for f in futures]
+            if recorder is not None:
+                recorder.record_metrics(gateway.metrics)
+        finally:
+            if recorder is not None:
+                recorder.close()
         return StreamReport(
             summaries=summaries,
             wall_s=wall,
@@ -687,6 +834,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the structural plan-cache warmup pass",
     )
     parser.add_argument(
+        "--record", default=None, metavar="PATH",
+        help=(
+            "append every request/summary envelope plus arrival offsets "
+            "to a capture file (replay with python -m "
+            "repro.service.recording)"
+        ),
+    )
+    parser.add_argument(
         "--json", action="store_true",
         help="emit the machine-readable report instead of tables",
     )
@@ -730,6 +885,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         policy=args.policy,
         deadline_ms=args.deadline_ms,
         warmup=not args.no_warmup,
+        record=args.record,
     )
 
     doc = report.to_dict()

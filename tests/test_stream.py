@@ -18,6 +18,7 @@ from repro.scenarios.runner import ALGORITHMS, AlgorithmSpec, register_algorithm
 from repro.service import (
     STATUS_CANCELLED,
     STATUS_COMPLETED,
+    STATUS_FAILED,
     STATUS_REJECTED,
     BatchService,
     StreamGateway,
@@ -282,6 +283,58 @@ def test_submit_after_close_raises():
     asyncio.run(main())
 
 
+def test_close_resolves_submitter_blocked_in_full_queue(sleepy_algorithm):
+    """Regression: a submitter suspended in ``put`` under the ``block``
+    policy could enqueue its ticket *after* ``drain()`` completed and the
+    workers were cancelled, leaving the future unresolved forever.
+
+    ``asyncio.Queue.join`` waits once on its "all done" event without
+    re-checking, so the interleaving is: the worker dequeues the last
+    ticket (waking the blocked putter), resolves it synchronously (the
+    expired-deadline path never awaits, so ``task_done`` fires in the
+    same step), and the putter — scheduled before the join waiter — slips
+    its ticket into the queue no worker will ever read.  On the old code
+    this test hangs at ``fut_late`` (bounded by the wait_for timeouts);
+    the post-put ``_closed`` re-check resolves the ticket instead.
+    """
+    slow = RunRequest(
+        kind="routing", family="balanced", n=16, seed=1,
+        algorithm=sleepy_algorithm, engine="fast",
+    )
+    expired = RunRequest(
+        kind="routing", family="balanced", n=16, seed=2, engine="fast",
+        deadline_ms=1e-6,
+    )
+    late = RunRequest(
+        kind="routing", family="balanced", n=16, seed=3, engine="fast"
+    )
+
+    async def main():
+        gateway = StreamGateway(
+            workers=1, backend="thread", queue_cap=1, policy="block"
+        )
+        await gateway.start()
+        fut_slow = await gateway.submit(slow)
+        await asyncio.sleep(0.01)  # worker dequeues `slow`, starts running
+        fut_expired = await gateway.submit(expired)  # fills the queue
+        submit_task = asyncio.create_task(gateway.submit(late))
+        await asyncio.sleep(0.01)  # submitter suspends in _queue.put
+        assert not submit_task.done()
+        await asyncio.wait_for(gateway.close(), timeout=10)
+        fut_late = await asyncio.wait_for(submit_task, timeout=5)
+        late_summary = await asyncio.wait_for(fut_late, timeout=5)
+        return await fut_slow, await fut_expired, late_summary
+
+    s_slow, s_expired, s_late = asyncio.run(
+        asyncio.wait_for(main(), timeout=30)
+    )
+    assert s_slow.status == STATUS_COMPLETED and s_slow.ok
+    assert s_expired.status == STATUS_CANCELLED
+    assert s_late.status == STATUS_CANCELLED
+    assert not s_late.ok
+    assert "closed" in s_late.error
+
+
 def test_executor_failure_resolves_ticket_instead_of_deadlocking(monkeypatch):
     """An exception escaping the executor (e.g. BrokenProcessPool after an
     OOM-killed pool child) must resolve the ticket as a failed run — an
@@ -306,11 +359,45 @@ def test_executor_failure_resolves_ticket_instead_of_deadlocking(monkeypatch):
     )
     first, second = report.summaries
     assert not first.ok
+    # The crashed run is FAILED, not completed: it produced no judged
+    # result, and labeling it completed would poison digests/percentiles.
+    assert first.status == STATUS_FAILED
+    assert not first.resolved
     assert "executor failure" in first.error
     assert "simulated pool crash" in first.error
     assert second.ok and second.status == STATUS_COMPLETED
     assert not report.ok  # the infra failure surfaces in the report
     assert report.metrics["failed"] == 1
+    # Failed runs stay out of the success percentiles (they'd otherwise
+    # *improve* p50 exactly when the service is sickest) ...
+    assert report.metrics["latency"]["count"] == 1
+    # ... and out of the digest fold.
+    assert report.stream_digest() == summaries_digest([second])
+    assert report.failed == [first]
+
+
+def test_failed_runs_excluded_from_success_latency(monkeypatch):
+    """Fast crashes must not drag success percentiles down: failure
+    latency is tracked in its own histogram."""
+    import repro.service.stream as stream_mod
+
+    real = stream_mod.execute_request
+
+    def crash_odd(req):
+        if req.seed % 2:
+            raise RuntimeError("boom")
+        return real(req)
+
+    monkeypatch.setattr(stream_mod, "execute_request", crash_odd)
+    requests = _requests(6)  # seeds 500..505 -> 3 crashes
+    report = serve(
+        requests, [0.0] * 6, workers=1, backend="thread", warmup=False
+    )
+    assert len(report.failed) == 3
+    assert len(report.completed) == 3
+    assert report.metrics["latency"]["count"] == 3
+    assert report.metrics["failure_latency"]["count"] == 3
+    assert report.metrics["failed"] == 3
 
 
 def test_replay_rejects_mismatched_lengths():
