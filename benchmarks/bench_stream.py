@@ -51,7 +51,7 @@ def _best_sequential(requests):
     return best
 
 
-def _best_stream(requests, arrivals, warmup):
+def _best_stream(requests, arrivals, warmup, micro_batch=1):
     best = None
     for _ in range(REPEAT):
         report = serve(
@@ -63,6 +63,7 @@ def _best_stream(requests, arrivals, warmup):
             queue_cap=QUEUE_CAP,
             policy="block",
             warmup=warmup,
+            micro_batch=micro_batch,
         )
         if best is None or report.wall_s < best.wall_s:
             best = report
@@ -81,7 +82,11 @@ def _measure():
 
     # Saturated stream: arrival clock at t=0 for every request, blocking
     # policy — sustained throughput is bounded by the worker pool alone.
-    saturated = _best_stream(requests, saturated_arrivals(BATCH), warmup=True)
+    # micro_batch > 1 exercises the adaptive coalescer where it pays:
+    # a permanently backlogged queue amortizes per-hop dispatch cost.
+    saturated = _best_stream(
+        requests, saturated_arrivals(BATCH), warmup=True, micro_batch=4
+    )
     assert saturated.ok, saturated.failures[:3]
     assert len(saturated.completed) == BATCH
     assert not saturated.rejected and not saturated.cancelled
@@ -103,6 +108,8 @@ def _measure():
         {
             "config": "sequential-batch",
             "workers": 1,
+            "transport": "",
+            "micro_batch": None,
             "offered": BATCH,
             "completed": BATCH,
             "wall_s": round(sequential.wall_s, 3),
@@ -116,6 +123,8 @@ def _measure():
         {
             "config": "stream-saturated",
             "workers": WORKERS,
+            "transport": saturated.transport,
+            "micro_batch": 4,
             "offered": BATCH,
             "completed": len(saturated.completed),
             "wall_s": round(saturated.wall_s, 3),
@@ -129,6 +138,8 @@ def _measure():
         {
             "config": f"stream-poisson@{rate:.0f}/s",
             "workers": WORKERS,
+            "transport": open_loop.transport,
+            "micro_batch": 1,
             "offered": BATCH,
             "completed": len(open_loop.completed),
             "wall_s": round(open_loop.wall_s, 3),
@@ -148,6 +159,7 @@ def test_bench_stream_throughput(benchmark, table_printer, bench_json):
     from repro.analysis import render_table
 
     cpus = os.cpu_count() or 1
+    enforced = cpus >= WORKERS
 
     def fmt(v, spec="{}"):
         return "-" if v is None else spec.format(v)
@@ -174,26 +186,28 @@ def test_bench_stream_throughput(benchmark, table_printer, bench_json):
             ],
         )
     )
-    bench_json(
-        "stream",
-        {
-            "description": (
-                f"{BATCH}-instance mixed stream on the asyncio gateway "
-                f"(process backend, block policy); speedup = sequential "
-                f"batch wall / saturated stream wall; digests byte-checked "
-                f"against the sequential backend; poisson row records the "
-                f"open-loop latency profile at ~70% capacity"
-            ),
-            "engine": ENGINE,
-            "cpus": cpus,
-            "queue_cap": QUEUE_CAP,
-            "speedup_target": SPEEDUP_TARGET,
-            "speedup_gate_enforced": cpus >= WORKERS,
-            "rows": rows,
-        },
-    )
+    payload = {
+        "description": (
+            f"{BATCH}-instance mixed stream on the asyncio gateway "
+            f"(process backend, block policy); speedup = sequential "
+            f"batch wall / saturated stream wall; digests byte-checked "
+            f"against the sequential backend; poisson row records the "
+            f"open-loop latency profile at ~70% capacity"
+        ),
+        "engine": ENGINE,
+        "queue_cap": QUEUE_CAP,
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_gate_enforced": enforced,
+        "rows": rows,
+    }
+    if not enforced:
+        payload["gate_skip_reason"] = (
+            f"host has {cpus} cpu(s) < {WORKERS} workers; parallel speedup "
+            f"is unmeasurable here (see top-level meta)"
+        )
+    bench_json("stream", payload)
     speedup = rows[1]["speedup"]
-    if cpus >= WORKERS:
+    if enforced:
         assert speedup >= SPEEDUP_TARGET, (
             f"{WORKERS}-worker sustained stream speedup {speedup:.2f}x "
             f"below target {SPEEDUP_TARGET}x on {cpus} cpus"

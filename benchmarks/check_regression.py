@@ -26,9 +26,16 @@ Rules per section:
   baseline's ``speedup_target``, but only when the fresh run says the
   gate is enforced (``speedup_gate_enforced`` — false on < 4 CPUs, where
   the measurement is meaningless).
+* ``serialization`` — every baseline row marked ``"gated": true`` must
+  exist fresh (matched by payload name) and meet the baseline's
+  ``time_ratio_target`` and ``bytes_ratio_target`` (columnar codec vs
+  pickle).  Enforced on every host: codec ratios are single-threaded and
+  do not depend on the core count.
 
-Sections present in the baseline but missing from the fresh file fail:
-a gate that silently stops being measured is itself a regression.
+The top-level ``meta`` block (host fingerprint: cpus, python, platform)
+is informational and never gated.  Sections present in the baseline but
+missing from the fresh file fail: a gate that silently stops being
+measured is itself a regression.
 """
 
 from __future__ import annotations
@@ -100,6 +107,46 @@ def _check_data_plane(
             )
 
 
+def _check_serialization(
+    base: dict, fresh: Optional[dict], out: List[str]
+) -> None:
+    time_target = base.get("time_ratio_target")
+    bytes_target = base.get("bytes_ratio_target")
+    if fresh is None:
+        if _rows(base):
+            out.append(
+                "serialization: gated section missing from fresh results"
+            )
+        return
+    fresh_rows = {r.get("payload"): r for r in _rows(fresh)}
+    for row in _rows(base):
+        if not row.get("gated"):
+            continue
+        key = row.get("payload")
+        got = fresh_rows.get(key)
+        if got is None:
+            out.append(
+                f"serialization: gated row {key!r} missing from fresh "
+                f"results"
+            )
+            continue
+        if isinstance(time_target, (int, float)) and (
+            not got.get("time_ratio") or got["time_ratio"] < time_target
+        ):
+            out.append(
+                f"serialization: {key!r} time ratio {got.get('time_ratio')} "
+                f"below recorded target {time_target}"
+            )
+        if isinstance(bytes_target, (int, float)) and (
+            not got.get("bytes_ratio") or got["bytes_ratio"] < bytes_target
+        ):
+            out.append(
+                f"serialization: {key!r} bytes ratio "
+                f"{got.get('bytes_ratio')} below recorded target "
+                f"{bytes_target}"
+            )
+
+
 def _check_throughput(
     name: str, base: dict, fresh: Optional[dict], out: List[str]
 ) -> None:
@@ -129,6 +176,7 @@ def check(baseline: dict, fresh: dict) -> List[str]:
     checkers = {
         "engines": _check_engines,
         "data_plane": _check_data_plane,
+        "serialization": _check_serialization,
     }
     for name, section in baseline.items():
         if not isinstance(section, dict):

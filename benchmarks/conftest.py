@@ -12,7 +12,9 @@ a workflow artifact).
 """
 
 import json
+import os
 import pathlib
+import platform
 import sys
 
 import pytest
@@ -38,11 +40,28 @@ BENCH_JSON_PATH = pathlib.Path(__file__).resolve().parent.parent / (
 )
 
 
+def host_meta() -> dict:
+    """The host fingerprint stamped into ``BENCH_engines.json``.
+
+    One top-level block instead of per-section copies: every reader of the
+    file (regression gate, review diff) sees at a glance which hardware
+    produced the numbers, and a gated row waived on a low-CPU host can
+    point here instead of re-recording the environment.
+    """
+    return {
+        "cpus": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
 def merge_bench_json(section: str, payload: dict) -> dict:
     """Merge ``payload`` under ``section`` in ``BENCH_engines.json``.
 
     Existing sections written by other benches are preserved, so running
-    any subset of the benches keeps the file coherent.  Returns the full
+    any subset of the benches keeps the file coherent.  The top-level
+    ``meta`` block is refreshed on every merge (last bench run wins — the
+    sections in one file always describe one host).  Returns the full
     document as written.
     """
     doc = {}
@@ -54,6 +73,7 @@ def merge_bench_json(section: str, payload: dict) -> dict:
     if not isinstance(doc, dict):
         doc = {}
     doc.setdefault("schema", 1)
+    doc["meta"] = host_meta()
     doc[section] = payload
     BENCH_JSON_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc

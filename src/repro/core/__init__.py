@@ -24,6 +24,8 @@ from .engine import (
     RunRequest,
     RunSummary,
     available_engines,
+    fast_request,
+    fast_summary,
     get_engine,
     register_engine,
 )
@@ -87,6 +89,8 @@ __all__ = [
     "RunResult",
     "RunRequest",
     "RunSummary",
+    "fast_request",
+    "fast_summary",
     "run_protocol",
     "ExecutionEngine",
     "ReferenceEngine",

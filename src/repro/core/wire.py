@@ -28,6 +28,16 @@ The module also owns :class:`HeaderCodec`, the memoized pack/unpack table
 for ``(source, dest, seq)`` message headers; codecs are structural plans and
 live in the process-wide :class:`~repro.core.context.PlanCache`.
 
+Since PR 7 the same columnar idea crosses the *IPC* boundary: the envelope
+column primitives at the bottom of this module (string table, constant /
+interned / raw string columns, i64 / f64 / byte / optional-f64 columns) are
+the building blocks :mod:`repro.service.transport` assembles into flat
+``RunRequest``/``RunSummary`` envelope buffers — the zero-copy request and
+result path of the batch and stream backends.  They live here, beside the
+data-plane columns, because they are the same representation discipline:
+parallel flat buffers, constant-column collapse, one C-speed pass per
+column instead of one pickle per object.
+
 Everything here is *semantics-preserving*: outputs, round counts, per-round
 traffic statistics and error behavior match the packet-at-a-time code path
 (the engine-equivalence and differential-fuzz suites enforce this).
@@ -35,6 +45,8 @@ traffic statistics and error behavior match the packet-at-a-time code path
 
 from __future__ import annotations
 
+import struct
+from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .context import planned
@@ -59,6 +71,25 @@ __all__ = [
     "regroup_segments",
     "HeaderCodec",
     "header_codec",
+    # envelope column primitives (used by repro.service.transport)
+    "NONE_IDX",
+    "COL_FULL",
+    "COL_CONST",
+    "COL_RAW",
+    "StringTable",
+    "pack_i64_col",
+    "pack_f64_col",
+    "pack_byte_col",
+    "pack_opt_f64_col",
+    "pack_raw_str_col",
+    "read_string_table",
+    "string_lut",
+    "read_str_col",
+    "read_raw_str_col",
+    "read_i64_col",
+    "read_f64_col",
+    "read_byte_col",
+    "read_opt_f64_col",
 ]
 
 _new_packet = Packet.__new__
@@ -363,3 +394,246 @@ class HeaderCodec:
 def header_codec(base: int) -> HeaderCodec:
     """The plan-cached :class:`HeaderCodec` for ``base``."""
     return planned(("header_codec", base), lambda: HeaderCodec(base))
+
+
+# -- envelope column primitives ----------------------------------------------
+#
+# The flat building blocks of the service-layer envelope codec
+# (:mod:`repro.service.transport`): one column per envelope field, each
+# column a flag byte followed by its payload.  Three column shapes:
+#
+# * ``COL_FULL``  (0) — one fixed-width value per row (``array`` buffers for
+#   numerics, u32 string-table indices for strings);
+# * ``COL_CONST`` (1) — the column holds a single value repeated ``count``
+#   times (the dominant case for service batches: engine, status, tag and
+#   deadline are usually uniform) and is collapsed to that one value;
+# * ``COL_RAW``   (2) — strings only: per-row *character* lengths plus one
+#   concatenated UTF-8 blob.  For high-cardinality columns (output digests
+#   are unique per run) this skips the string table entirely; for the
+#   optional-f64 column flag 2 instead means "all rows are None".
+#
+# Numeric columns are little-endian i64 / f64 (``array("q")`` raises
+# ``OverflowError`` outside the i64 range — envelope fields are seeds,
+# sizes and counters, all far inside it).  ``None`` string rows are the
+# sentinel index ``NONE_IDX``.  Constant detection uses ``list.count``
+# (identity-shortcut C loop), so even repeated-NaN objects collapse.
+
+NONE_IDX = 0xFFFFFFFF
+COL_FULL = 0
+COL_CONST = 1
+COL_RAW = 2
+
+
+class StringTable:
+    """Interning accumulator for the envelope string columns.
+
+    Encode side only: every distinct string across all of an envelope's
+    interned columns gets one table slot; columns store u32 indices.  The
+    table itself is serialized once per envelope (:meth:`table_bytes`) and
+    decoded back with :func:`read_string_table` / :func:`string_lut`.
+    """
+
+    __slots__ = ("map", "order")
+
+    def __init__(self) -> None:
+        self.map: Dict[Optional[str], int] = {None: NONE_IDX}
+        self.order: List[str] = []
+
+    def idx(self, value: Optional[str]) -> int:
+        m = self.map
+        i = m.get(value)
+        if i is None:
+            i = m[value] = len(self.order)
+            self.order.append(value)  # type: ignore[arg-type]
+        return i
+
+    def col(self, values: Sequence[Optional[str]]) -> bytes:
+        """Encode one string column (const-collapsed or interned u32s)."""
+        count = len(values)
+        v0 = values[0]
+        if values.count(v0) == count:  # type: ignore[union-attr]
+            return struct.pack("<BI", COL_CONST, self.idx(v0))
+        m = self.map
+        order = self.order
+        for v in dict.fromkeys(values):
+            if v not in m:
+                m[v] = len(order)
+                order.append(v)  # type: ignore[arg-type]
+        return bytes([COL_FULL]) + array(
+            "I", map(m.__getitem__, values)
+        ).tobytes()
+
+    def table_bytes(self) -> bytes:
+        parts = [struct.pack("<I", len(self.order))]
+        for s in self.order:
+            b = s.encode("utf-8")
+            parts.append(struct.pack("<I", len(b)))
+            parts.append(b)
+        return b"".join(parts)
+
+
+def pack_raw_str_col(values: Sequence[str]) -> bytes:
+    """Encode a high-cardinality string column without interning.
+
+    Per-row *character* lengths (so decode can slice one decoded string —
+    correct for non-ASCII content) plus a single concatenated UTF-8 blob.
+    Rows must not be ``None``; const columns still collapse.
+    """
+    count = len(values)
+    v0 = values[0]
+    if values.count(v0) == count:
+        b = v0.encode("utf-8")
+        return struct.pack("<BI", COL_CONST, len(b)) + b
+    blob = "".join(values).encode("utf-8")
+    return (
+        bytes([COL_RAW])
+        + array("I", map(len, values)).tobytes()
+        + struct.pack("<I", len(blob))
+        + blob
+    )
+
+
+def pack_i64_col(values: Sequence[int], count: int) -> bytes:
+    v0 = values[0]
+    if values.count(v0) == count:
+        return struct.pack("<Bq", COL_CONST, v0)
+    return bytes([COL_FULL]) + array("q", values).tobytes()
+
+
+def pack_f64_col(values: Sequence[float], count: int) -> bytes:
+    v0 = values[0]
+    if values.count(v0) == count:
+        return struct.pack("<Bd", COL_CONST, v0)
+    return bytes([COL_FULL]) + array("d", values).tobytes()
+
+
+def pack_byte_col(values: Sequence[int], count: int) -> bytes:
+    v0 = values[0]
+    if values.count(v0) == count:
+        return struct.pack("<BB", COL_CONST, v0)
+    return bytes([COL_FULL]) + bytes(values)
+
+
+def pack_opt_f64_col(
+    values: Sequence[Optional[float]], count: int
+) -> bytes:
+    v0 = values[0]
+    if values.count(v0) == count:
+        if v0 is None:
+            return bytes([COL_RAW])  # flag 2: every row is None
+        return struct.pack("<Bd", COL_CONST, v0)
+    present = bytes([0 if v is None else 1 for v in values])
+    dvals = array("d", [0.0 if v is None else v for v in values])
+    return bytes([COL_FULL]) + present + dvals.tobytes()
+
+
+def read_string_table(buf: bytes, off: int) -> Tuple[List[str], int]:
+    (n,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    out = []
+    for _ in range(n):
+        (ln,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        out.append(buf[off:off + ln].decode("utf-8"))
+        off += ln
+    return out, off
+
+
+def string_lut(table: List[str]) -> Dict[int, Optional[str]]:
+    """Index -> string mapping with the ``None`` sentinel installed."""
+    d: Dict[int, Optional[str]] = dict(enumerate(table))
+    d[NONE_IDX] = None
+    return d
+
+
+def read_str_col(
+    buf: bytes, off: int, count: int, lut: Dict[int, Optional[str]]
+) -> Tuple[Sequence[Optional[str]], int]:
+    flag = buf[off]
+    off += 1
+    if flag == COL_CONST:
+        (i,) = struct.unpack_from("<I", buf, off)
+        return (lut[i],) * count, off + 4
+    col = array("I")
+    col.frombytes(buf[off:off + 4 * count])
+    return list(map(lut.__getitem__, col)), off + 4 * count
+
+
+def read_raw_str_col(
+    buf: bytes, off: int, count: int
+) -> Tuple[Sequence[str], int]:
+    """Decode a :func:`pack_raw_str_col` column (no table, no ``None``)."""
+    flag = buf[off]
+    off += 1
+    if flag == COL_CONST:
+        (bl,) = struct.unpack_from("<I", buf, off)
+        off += 4
+        return (buf[off:off + bl].decode("utf-8"),) * count, off + bl
+    lens = array("I")
+    lens.frombytes(buf[off:off + 4 * count])
+    off += 4 * count
+    (bl,) = struct.unpack_from("<I", buf, off)
+    off += 4
+    s = buf[off:off + bl].decode("utf-8")
+    out = []
+    pos = 0
+    for ln in lens:
+        out.append(s[pos:pos + ln])
+        pos += ln
+    return out, off + bl
+
+
+def read_i64_col(
+    buf: bytes, off: int, count: int
+) -> Tuple[Sequence[int], int]:
+    flag = buf[off]
+    off += 1
+    if flag == COL_CONST:
+        (v,) = struct.unpack_from("<q", buf, off)
+        return (v,) * count, off + 8
+    col = array("q")
+    col.frombytes(buf[off:off + 8 * count])
+    return col, off + 8 * count
+
+
+def read_f64_col(
+    buf: bytes, off: int, count: int
+) -> Tuple[Sequence[float], int]:
+    flag = buf[off]
+    off += 1
+    if flag == COL_CONST:
+        (v,) = struct.unpack_from("<d", buf, off)
+        return (v,) * count, off + 8
+    col = array("d")
+    col.frombytes(buf[off:off + 8 * count])
+    return col, off + 8 * count
+
+
+def read_byte_col(
+    buf: bytes, off: int, count: int
+) -> Tuple[Sequence[int], int]:
+    flag = buf[off]
+    off += 1
+    if flag == COL_CONST:
+        return (buf[off],) * count, off + 1
+    return buf[off:off + count], off + count
+
+
+def read_opt_f64_col(
+    buf: bytes, off: int, count: int
+) -> Tuple[Sequence[Optional[float]], int]:
+    flag = buf[off]
+    off += 1
+    if flag == COL_RAW:  # all-None fast path
+        return (None,) * count, off
+    if flag == COL_CONST:
+        (v,) = struct.unpack_from("<d", buf, off)
+        return (v,) * count, off + 8
+    present = buf[off:off + count]
+    off += count
+    vals = array("d")
+    vals.frombytes(buf[off:off + 8 * count])
+    return (
+        [v if p else None for p, v in zip(present, vals)],
+        off + 8 * count,
+    )

@@ -21,6 +21,7 @@ from .generators import (
     BurstyMultiplexWorkload,
     Scenario,
     arrival_times,
+    bursty_arrivals,
     default_scenarios,
     families,
     mixed_batch,
@@ -53,6 +54,7 @@ __all__ = [
     "parse_mix",
     "scenario_matrix",
     "arrival_times",
+    "bursty_arrivals",
     "poisson_arrivals",
     "saturated_arrivals",
     "uniform_arrivals",

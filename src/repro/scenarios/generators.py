@@ -399,6 +399,43 @@ def saturated_arrivals(count: int) -> List[float]:
     return [0.0] * count
 
 
+def bursty_arrivals(
+    rate: float,
+    count: int,
+    burst: int = 8,
+    idle_s: float = 1.0,
+    seed: int = 0,
+) -> List[float]:
+    """``count`` arrivals in bursts of ``burst`` separated by idle gaps.
+
+    Within a burst, requests arrive back to back at ``rate`` per second;
+    between bursts the stream goes quiet for ``idle_s`` seconds (jittered
+    ±25% so gaps are not phase-locked with any poller).  This is the
+    autoscaler's native workload: queue depth spikes during a burst
+    (scale-up trigger) and drains to zero in the gap (scale-down
+    trigger).  Deterministic in ``(rate, count, burst, idle_s, seed)``.
+    """
+    if rate <= 0:
+        raise ValueError(f"bursty arrivals need rate > 0, got {rate}")
+    if burst <= 0:
+        raise ValueError(f"burst size must be > 0, got {burst}")
+    if idle_s < 0:
+        raise ValueError(f"idle gap must be >= 0, got {idle_s}")
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    rng = random.Random(seed)
+    gap = 1.0 / rate
+    t = 0.0
+    out: List[float] = []
+    for i in range(count):
+        if i and i % burst == 0:
+            t += idle_s * (0.75 + 0.5 * rng.random())
+        else:
+            t += gap
+        out.append(t)
+    return out
+
+
 def recorded_arrivals(
     offsets: List[float], timescale: float = 1.0
 ) -> List[float]:
@@ -432,16 +469,19 @@ def recorded_arrivals(
 def arrival_times(
     process: str, rate: float, count: int, seed: int = 0
 ) -> List[float]:
-    """Dispatch on an arrival-process name: poisson, uniform or saturated."""
+    """Dispatch on an arrival-process name: poisson, uniform, saturated
+    or bursty."""
     if process == "poisson":
         return poisson_arrivals(rate, count, seed)
     if process == "uniform":
         return uniform_arrivals(rate, count)
     if process == "saturated":
         return saturated_arrivals(count)
+    if process == "bursty":
+        return bursty_arrivals(rate, count, seed=seed)
     raise ValueError(
         f"unknown arrival process {process!r}; "
-        f"want poisson, uniform or saturated"
+        f"want poisson, uniform, saturated or bursty"
     )
 
 

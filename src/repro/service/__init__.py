@@ -23,6 +23,9 @@ Two operational companions ride on the same envelopes:
 * :mod:`repro.service.chaos` — fault injection (worker kills, poison
   requests, stragglers) against live gateways, gated on recovery,
   digest correctness, and bounded p99.
+* :mod:`repro.service.transport` — the zero-copy request/result path
+  shared by both front ends: columnar envelope codec, shared-memory
+  slot arena with pickle fallback, and the autoscaler policy.
 
 Command line::
 
@@ -83,6 +86,20 @@ _CHAOS_EXPORTS = (
     "run_chaos",
 )
 
+_TRANSPORT_EXPORTS = (
+    "TRANSPORTS",
+    "AutoscalePolicy",
+    "PendingEnvelope",
+    "PickleTransport",
+    "ShmArena",
+    "ShmTransport",
+    "decode_requests",
+    "decode_summaries",
+    "encode_requests",
+    "encode_summaries",
+    "make_transport",
+)
+
 
 def __getattr__(name: str):
     if name in _STREAM_EXPORTS:
@@ -97,6 +114,10 @@ def __getattr__(name: str):
         from . import chaos
 
         return getattr(chaos, name)
+    if name in _TRANSPORT_EXPORTS:
+        from . import transport
+
+        return getattr(transport, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -111,4 +132,5 @@ __all__ = [
     *_STREAM_EXPORTS,
     *_RECORDING_EXPORTS,
     *_CHAOS_EXPORTS,
+    *_TRANSPORT_EXPORTS,
 ]

@@ -34,10 +34,12 @@ smoke job and :mod:`benchmarks.bench_service` both gate on that.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import time
+from collections import deque
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.context import plan_cache
 from ..core.engine import (
@@ -49,6 +51,7 @@ from ..core.engine import (
 )
 from ..scenarios.generators import Scenario
 from ..scenarios.runner import ScenarioOutcome, ScenarioRunner
+from .transport import PendingEnvelope, make_transport
 
 __all__ = [
     "BatchReport",
@@ -189,6 +192,23 @@ def _warm_worker(plans: Dict[Hashable, object]) -> None:
     plan_cache().warm(plans)
 
 
+def _pickle_plans(plans: Dict[Hashable, object]) -> bytes:
+    """Freeze a plan-cache snapshot into one reusable initializer blob.
+
+    Pickled **once per batch** and handed to every worker initializer —
+    including the workers of every pool rebuilt after a chaos kill.
+    Before this existed the snapshot dict rode the ``initargs`` tuple and
+    was re-pickled on every pool (re)build, which made recovery cost
+    scale with the warm set.
+    """
+    return pickle.dumps(plans, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _warm_worker_blob(blob: bytes) -> None:
+    """Pool-worker initializer: adopt a pre-pickled plan snapshot."""
+    plan_cache().warm(pickle.loads(blob))
+
+
 class SequentialBackend:
     """In-process, in-order execution — the determinism baseline."""
 
@@ -209,22 +229,36 @@ class ProcessPoolBackend:
         workers: pool size (>= 1).
         warm_plans: plan-cache snapshot installed in every worker's
             process-wide :class:`~repro.core.context.PlanCache` before it
-            takes work (see :meth:`PlanCache.warm`).
+            takes work (see :meth:`PlanCache.warm`).  Pickled **once** into
+            an initializer blob (:func:`_pickle_plans`) shared by every
+            pool this backend builds, including rebuilds after breakage.
         chunk: requests per task; ``None`` picks ``ceil(batch / (4 *
             workers))`` capped at 32 — large enough to amortize IPC, small
             enough to keep the pool balanced and summaries streaming.
+        transport: envelope transport across the executor boundary —
+            ``"shm"`` (columnar envelopes through shared-memory slots,
+            auto-degrading to pickle where shared memory is unavailable)
+            or ``"pickle"`` (columnar envelopes through the executor's
+            pickle channel).  See :mod:`repro.service.transport`.
+
+    Chunks move as *columnar envelopes*, not per-object pickles, and are
+    submitted through a sliding window (``4 * workers`` in flight) sized
+    to the transport's shared-memory arena — every in-flight chunk can
+    hold a slot, and summaries stream back as each envelope resolves.
 
     **Pool-death semantics.**  When a worker process dies mid-batch (OOM
     kill, segfault, a chaos ``kill`` fault), ``ProcessPoolExecutor`` breaks
     the *whole* pool: every pending future raises ``BrokenExecutor``.
     Instead of propagating — which would discard every already-judged
-    summary — the backend marks the chunk whose future surfaced the
-    breakage as :data:`~repro.core.engine.STATUS_FAILED`, rebuilds the
-    pool, and resubmits the chunks that had not yet been consumed.  A
-    chunk is never resubmitted after its own failure, so a poison chunk
-    that kills every pool it touches converges: each rebuild retires at
-    least one chunk.  The batch digest is unaffected by the failed chunks
-    (:func:`summaries_digest` folds only resolved runs).
+    summary — the backend marks the chunk whose envelope surfaced the
+    breakage as :data:`~repro.core.engine.STATUS_FAILED`, abandons the
+    outstanding envelopes (their shared-memory slots recycle when the dead
+    futures settle), rebuilds the pool, and redispatches the chunks that
+    had not yet been consumed.  A chunk is never resubmitted after its own
+    failure, so a poison chunk that kills every pool it touches converges:
+    each rebuild retires at least one chunk.  The batch digest is
+    unaffected by the failed chunks (:func:`summaries_digest` folds only
+    resolved runs).
     """
 
     name = "process-pool"
@@ -234,21 +268,30 @@ class ProcessPoolBackend:
         workers: int,
         warm_plans: Optional[Dict[Hashable, object]] = None,
         chunk: Optional[int] = None,
+        transport: str = "shm",
     ) -> None:
         if workers < 1:
             raise ValueError("process pool needs workers >= 1")
         self.workers = workers
         self.chunk = chunk
-        self._warm_plans = warm_plans or {}
+        self._warm_blob = _pickle_plans(warm_plans or {})
+        self._window = 4 * workers
+        self._transport = make_transport(
+            transport, slots=max(2, min(16, self._window))
+        )
         #: pools rebuilt after mid-batch breakage (chaos gates read this).
         self.pool_replacements = 0
         self._pool = self._build_pool()
 
+    @property
+    def transport_name(self) -> str:
+        return self._transport.name
+
     def _build_pool(self) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(
             max_workers=self.workers,
-            initializer=_warm_worker,
-            initargs=(self._warm_plans,),
+            initializer=_warm_worker_blob,
+            initargs=(self._warm_blob,),
         )
 
     def _chunk_size(self, batch: int) -> int:
@@ -261,12 +304,23 @@ class ProcessPoolBackend:
         chunks = [
             list(requests[i:i + size]) for i in range(0, len(requests), size)
         ]
-        pending = [(c, self._pool.submit(_execute_chunk, c)) for c in chunks]
-        i = 0
-        while i < len(pending):
-            chunk, future = pending[i]
+        pending: Deque[Tuple[List[RunRequest], PendingEnvelope]] = deque()
+        next_chunk = 0
+
+        def refill() -> None:
+            nonlocal next_chunk
+            while next_chunk < len(chunks) and len(pending) < self._window:
+                chunk = chunks[next_chunk]
+                pending.append(
+                    (chunk, self._transport.dispatch(self._pool, chunk))
+                )
+                next_chunk += 1
+
+        refill()
+        while pending:
+            chunk, envelope = pending.popleft()
             try:
-                results = future.result()
+                results = envelope.decode()
             except BrokenExecutor as exc:
                 for req in chunk:
                     yield RunSummary(
@@ -278,23 +332,29 @@ class ProcessPoolBackend:
                             f"{type(exc).__name__}: {exc}"
                         ),
                     )
-                # The dead pool poisons every outstanding future; rebuild
-                # once and resubmit the chunks not yet consumed (re-running
-                # a chunk is safe — execution is deterministic and
-                # side-effect free).  The failed chunk itself is retired.
+                # The dead pool poisons every outstanding future; abandon
+                # the in-flight envelopes, rebuild once and redispatch the
+                # chunks not yet consumed (re-running a chunk is safe —
+                # execution is deterministic and side-effect free).  The
+                # failed chunk itself is retired.
+                resubmit = [c for c, _ in pending]
+                for _, stale in pending:
+                    stale.abandon()
+                pending.clear()
                 self._pool.shutdown(wait=False)
                 self._pool = self._build_pool()
                 self.pool_replacements += 1
-                pending[i + 1:] = [
-                    (c, self._pool.submit(_execute_chunk, c))
-                    for c, _ in pending[i + 1:]
-                ]
+                for c in resubmit:
+                    pending.append(
+                        (c, self._transport.dispatch(self._pool, c))
+                    )
             else:
                 yield from results
-            i += 1
+            refill()
 
     def close(self) -> None:
         self._pool.shutdown()
+        self._transport.close()
 
 
 @dataclass
@@ -310,6 +370,9 @@ class BatchReport:
     plan_cache_stats: Tuple[int, int, int] = (0, 0, 0)
     #: worker pools rebuilt after mid-batch breakage (0 on a healthy run).
     pool_replacements: int = 0
+    #: envelope transport the pool backend actually used ("shm", "pickle",
+    #: or "" for the sequential backend, which crosses no boundary).
+    transport: str = ""
 
     @property
     def ok(self) -> bool:
@@ -364,6 +427,7 @@ class BatchReport:
         return {
             "backend": self.backend,
             "workers": self.workers,
+            "transport": self.transport,
             "ok": self.ok,
             "requests": len(self.summaries),
             "failed": len(self.failures),
@@ -409,6 +473,8 @@ class BatchService:
             representatives execute up front and the remaining groups start
             cold in the workers.
         chunk: override the pool backend's chunk size.
+        transport: envelope transport of the pool backend (``"shm"`` or
+            ``"pickle"``; the sequential backend ignores it).
     """
 
     def __init__(
@@ -418,6 +484,7 @@ class BatchService:
         warmup: bool = True,
         max_prefetch: int = 32,
         chunk: Optional[int] = None,
+        transport: str = "shm",
     ) -> None:
         if engine not in available_engines():
             raise ValueError(
@@ -429,6 +496,7 @@ class BatchService:
         self.warmup = warmup
         self.max_prefetch = max(0, int(max_prefetch))
         self.chunk = chunk
+        self.transport = transport
 
     # -- internals ----------------------------------------------------------
 
@@ -471,7 +539,7 @@ class BatchService:
     def execute(
         self,
         requests: Iterable[RunRequest],
-        _info: Optional[Dict[str, int]] = None,
+        _info: Optional[Dict[str, object]] = None,
     ) -> Iterator[Tuple[RunRequest, RunSummary]]:
         """Execute a batch, streaming ``(request, summary)`` in order.
 
@@ -501,8 +569,13 @@ class BatchService:
             _info["warmed"] = len(warm_plans)
             _info["prefetch_runs"] = len(prefetched)
         backend = ProcessPoolBackend(
-            self.workers, warm_plans=warm_plans, chunk=self.chunk
+            self.workers,
+            warm_plans=warm_plans,
+            chunk=self.chunk,
+            transport=self.transport,
         )
+        if _info is not None:
+            _info["transport"] = backend.transport_name
         rest = [req for i, req in enumerate(stamped) if i not in prefetched]
         try:
             pooled = backend.execute(rest)
@@ -520,7 +593,7 @@ class BatchService:
         """Execute a batch to completion and aggregate the summaries."""
         pc = plan_cache()
         hits0, misses0, _ = pc.stats()
-        info: Dict[str, int] = {}
+        info: Dict[str, object] = {}
         t0 = time.perf_counter()
         summaries = [s for _, s in self.execute(requests, _info=info)]
         wall = time.perf_counter() - t0
@@ -533,8 +606,9 @@ class BatchService:
             ),
             workers=self.workers if self.workers >= 2 else 1,
             wall_s=wall,
-            warmed_plans=info.get("warmed", 0),
-            prefetch_runs=info.get("prefetch_runs", 0),
+            warmed_plans=int(info.get("warmed", 0)),
+            prefetch_runs=int(info.get("prefetch_runs", 0)),
             plan_cache_stats=(hits1 - hits0, misses1 - misses0, size1),
-            pool_replacements=info.get("pool_replacements", 0),
+            pool_replacements=int(info.get("pool_replacements", 0)),
+            transport=str(info.get("transport", "")),
         )

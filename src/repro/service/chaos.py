@@ -34,6 +34,10 @@ Gates (all must hold for exit code 0):
    requests.
 4. **p99 bounded** — success p99 under stragglers stays within
    ``factor * (clean_p99 + straggler_ms) + slack``.
+5. **shm leak free** — the shared-memory transport owns no more live
+   segments after the chaos run than before it: worker kills (which
+   break the pool mid-envelope) must never strand a parent-owned slot.
+   Vacuously true on the pickle transport.
 
 Command line::
 
@@ -63,6 +67,7 @@ from .batch import (
     requests_from_scenarios,
     summaries_digest,
 )
+from .transport import TRANSPORTS, ShmArena
 
 __all__ = [
     "ChaosFault",
@@ -236,6 +241,7 @@ def run_chaos(
     p99_slack_ms: float = 500.0,
     compare_clean: bool = True,
     record: Optional[str] = None,
+    transport: str = "shm",
 ) -> ChaosReport:
     """Drive a fault-laden workload through a live gateway and gate it.
 
@@ -279,9 +285,14 @@ def run_chaos(
             backend=backend,
             queue_cap=cap,
             policy="block",
+            transport=transport,
         )
         p99_clean_ms = clean_report.metrics["latency"]["p99_ms"]
 
+    # Worker kills break the pool while envelopes are in flight through
+    # shared-memory slots — exactly the path that could strand a segment.
+    # Snapshot the live set around the chaos run and gate on it.
+    segments_before = set(ShmArena.live_segments())
     chaos_report = serve(
         plan.requests,
         arrivals,
@@ -291,7 +302,9 @@ def run_chaos(
         queue_cap=cap,
         policy="block",
         record=record,
+        transport=transport,
     )
+    segments_after = set(ShmArena.live_segments())
 
     summaries = chaos_report.summaries
     completed = chaos_report.completed
@@ -333,6 +346,7 @@ def run_chaos(
             or not plan.straggler_indices
             or p99_chaos_ms <= p99_bound_ms
         ),
+        "shm_leak_free": segments_after <= segments_before,
     }
     counts = {
         "offered": len(summaries),
@@ -421,6 +435,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--record", default=None, metavar="PATH",
         help="capture the chaos run's traffic for replay/forensics",
     )
+    parser.add_argument(
+        "--transport", default="shm", choices=TRANSPORTS,
+        help=(
+            "gateway envelope transport under fault injection "
+            "(default: shm)"
+        ),
+    )
     parser.add_argument("--json", action="store_true")
     args = parser.parse_args(argv)
 
@@ -440,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             p99_slack_ms=args.p99_slack_ms,
             compare_clean=not args.no_clean_baseline,
             record=args.record,
+            transport=args.transport,
         )
     except ValueError as exc:
         parser.error(str(exc))

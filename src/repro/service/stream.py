@@ -42,6 +42,18 @@ Architecture::
   counters and queue-depth extrema; :class:`StreamReport` rolls them up
   with the order-independent digest shared with the batch service, so
   "streaming == batch == sequential" is a one-line comparison.
+* **Zero-copy transport.**  The process backend ships work as columnar
+  envelopes (:mod:`repro.service.transport`) — shared-memory slots by
+  default, pickle-bytes fallback — instead of per-object pickles.
+* **Micro-batching.**  Dispatchers can coalesce up to K queued requests
+  (or wait T ms for batch-mates, whichever first; K adapts to observed
+  queue depth) into one executor hop.  Off by default (K=1): coalescing
+  trades per-request deadline granularity for IPC amortization, so it is
+  an explicit opt-in for throughput-oriented streams.
+* **Autoscaling.**  With ``autoscale=True`` a sampler task feeds observed
+  queue depth to an :class:`~repro.service.transport.AutoscalePolicy` and
+  spawns or retires dispatcher tasks on sustained pressure; retirement
+  uses in-band sentinels so a dispatcher finishes its current work first.
 
 Command line::
 
@@ -83,11 +95,18 @@ from ..scenarios.generators import DEFAULT_MIX, arrival_times, mixed_batch
 from .batch import (
     CHAOS_TAG_PREFIX,
     BatchService,
-    _warm_worker,
+    _pickle_plans,
+    _warm_worker_blob,
     execute_request,
     requests_from_scenarios,
     structural_key,
     summaries_digest,
+)
+from .transport import (
+    TRANSPORTS,
+    AutoscalePolicy,
+    PendingEnvelope,
+    make_transport,
 )
 
 __all__ = [
@@ -95,6 +114,7 @@ __all__ = [
     "STATUS_COMPLETED",
     "STATUS_FAILED",
     "STATUS_REJECTED",
+    "AutoscalePolicy",
     "StreamGateway",
     "StreamMetrics",
     "StreamReport",
@@ -105,6 +125,30 @@ __all__ = [
 
 BACKENDS = ("process", "thread")
 POLICIES = ("reject", "block")
+
+#: In-band scale-down sentinel: a dispatcher that dequeues it finishes
+#: nothing further and exits, so retirement never abandons taken work.
+_RETIRE = object()
+
+
+def _swallow_task_result(task: "asyncio.Future[object]") -> None:
+    """Done-callback for hops nobody awaits anymore (all tickets
+    abandoned): retrieve the outcome so the loop never logs an
+    unretrieved-exception warning for work we deliberately walked away
+    from."""
+    try:
+        task.exception()
+    except asyncio.CancelledError:
+        pass
+
+
+def _run_tickets(requests: List[RunRequest]) -> List[RunSummary]:
+    """Thread-backend batch entry: one executor hop for a micro-batch.
+
+    Resolves ``execute_request`` through the module global at call time
+    (not at dispatch-closure creation), so it tracks monkeypatching.
+    """
+    return [execute_request(r) for r in requests]
 
 
 def structural_warmup(
@@ -159,6 +203,9 @@ class StreamMetrics:
         self.failed = 0
         #: executor pools rebuilt after breakage (chaos recovery gate).
         self.pool_replacements = 0
+        #: autoscaler decisions (dispatcher tasks spawned / retired).
+        self.scale_ups = 0
+        self.scale_downs = 0
         self.queue_depth_max = 0
         self._depth_sum = 0
         self._depth_samples = 0
@@ -205,6 +252,8 @@ class StreamMetrics:
             "cancelled": self.cancelled,
             "failed": self.failed,
             "pool_replacements": self.pool_replacements,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
             "queue_depth_max": self.queue_depth_max,
             "queue_depth_mean": round(self.queue_depth_mean, 2),
             "latency": self.latency.summary(),
@@ -239,6 +288,24 @@ class StreamGateway:
             ``"block"`` (make ``submit`` await space).
         deadline_ms: default per-request latency budget; a request's own
             ``deadline_ms`` wins.  ``None`` means no deadline.
+        transport: envelope transport of the process backend — ``"shm"``
+            (shared-memory slots, auto-degrading to pickle) or
+            ``"pickle"``.  The thread backend crosses no process boundary
+            and ignores it.
+        micro_batch: max requests a dispatcher coalesces into one executor
+            hop.  ``1`` (default) dispatches per request — micro-batching
+            widens the window between a request starting and its deadline
+            being enforceable, so it is opt-in.  When ``> 1`` the actual
+            batch adapts to queue depth (never waiting for load that is
+            not there).
+        micro_batch_ms: with ``micro_batch > 1``, how long a dispatcher
+            holding a short batch waits for batch-mates before going.
+        autoscale: spawn/retire dispatcher tasks on sustained queue-depth
+            pressure (see :class:`~repro.service.transport.AutoscalePolicy`).
+            The pool is sized for the policy maximum; dispatchers start at
+            the policy minimum.
+        autoscale_policy: override the default policy
+            (``min_workers=1, max_workers=workers``).
 
     Use as an async context manager, or call :meth:`start` / :meth:`close`.
     """
@@ -251,6 +318,11 @@ class StreamGateway:
         queue_cap: int = 64,
         policy: str = "reject",
         deadline_ms: Optional[float] = None,
+        transport: str = "shm",
+        micro_batch: int = 1,
+        micro_batch_ms: float = 2.0,
+        autoscale: bool = False,
+        autoscale_policy: Optional[AutoscalePolicy] = None,
     ) -> None:
         if engine not in available_engines():
             raise ValueError(
@@ -265,21 +337,42 @@ class StreamGateway:
             raise ValueError(
                 f"unknown policy {policy!r}; want one of {POLICIES}"
             )
+        if transport not in TRANSPORTS:
+            raise ValueError(
+                f"unknown transport {transport!r}; want one of {TRANSPORTS}"
+            )
         if workers < 1:
             raise ValueError("stream gateway needs workers >= 1")
         if queue_cap < 1:
             raise ValueError("queue_cap must be >= 1")
+        if micro_batch < 1:
+            raise ValueError("micro_batch must be >= 1")
         self.workers = int(workers)
         self.engine = engine
         self.backend = backend
         self.queue_cap = int(queue_cap)
         self.policy = policy
         self.deadline_ms = deadline_ms
+        self.transport = transport
+        self.micro_batch = int(micro_batch)
+        self.micro_batch_ms = float(micro_batch_ms)
+        self.autoscale = autoscale
+        self._policy = autoscale_policy or AutoscalePolicy(
+            min_workers=1, max_workers=self.workers
+        )
         self.metrics = StreamMetrics()
-        self._queue: Optional["asyncio.Queue[_Ticket]"] = None
+        self._queue: Optional["asyncio.Queue[object]"] = None
         self._pool: Optional[Executor] = None
+        self._transport = None
+        self._warm_blob = b""
         self._tasks: List["asyncio.Task[None]"] = []
+        self._sampler: Optional["asyncio.Task[None]"] = None
         self._closed = False
+
+    @property
+    def transport_name(self) -> str:
+        """The transport actually in use ("" for the thread backend)."""
+        return self._transport.name if self._transport is not None else ""
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -292,25 +385,68 @@ class StreamGateway:
             # pool for it would leak processes and tasks.  One gateway, one
             # lifecycle.
             raise RuntimeError("gateway already closed; build a new one")
+        if self.backend == "process":
+            # Snapshot + pickle the warm plans ONCE; every pool this
+            # gateway ever builds — including rebuilds after breakage —
+            # reuses the same initializer blob.
+            self._warm_blob = _pickle_plans(plan_cache().snapshot())
+            self._transport = make_transport(
+                self.transport, slots=max(2, min(16, 2 * self.workers))
+            )
         self._pool = self._build_pool()
         self._queue = asyncio.Queue(maxsize=self.queue_cap)
+        dispatchers = (
+            self._policy.workers if self.autoscale else self.workers
+        )
         self._tasks = [
             asyncio.create_task(self._worker(), name=f"stream-worker-{i}")
-            for i in range(self.workers)
+            for i in range(dispatchers)
         ]
+        if self.autoscale:
+            self._sampler = asyncio.create_task(
+                self._autoscale_sampler(), name="stream-autoscaler"
+            )
         return self
 
     def _build_pool(self) -> Executor:
         if self.backend == "process":
             # Warm every pool worker from the parent's plan-cache snapshot
             # (whatever structural_warmup / earlier runs left resident).
+            # Workers spawn lazily, so sizing the pool for the autoscale
+            # maximum costs nothing until dispatchers actually scale up.
             return ProcessPoolExecutor(
                 max_workers=self.workers,
-                initializer=_warm_worker,
-                initargs=(plan_cache().snapshot(),),
+                initializer=_warm_worker_blob,
+                initargs=(self._warm_blob,),
             )
         # Threads share the process-wide plan cache; no shipping needed.
         return ThreadPoolExecutor(max_workers=self.workers)
+
+    async def _autoscale_sampler(self) -> None:
+        """Feed queue depth to the policy; apply its spawn/retire verdicts."""
+        assert self._queue is not None
+        while not self._closed:
+            await asyncio.sleep(0.02)
+            if self._closed or self._queue is None:
+                return
+            delta = self._policy.observe(
+                self._queue.qsize(), time.perf_counter()
+            )
+            if delta > 0:
+                self._tasks.append(asyncio.create_task(
+                    self._worker(),
+                    name=f"stream-worker-{len(self._tasks)}",
+                ))
+                self.metrics.scale_ups += 1
+            elif delta < 0:
+                try:
+                    self._queue.put_nowait(_RETIRE)
+                    self.metrics.scale_downs += 1
+                except asyncio.QueueFull:
+                    # No room to deliver the sentinel (the queue refilled
+                    # between sample and verdict) — the pressure reading
+                    # is stale, revoke the decision.
+                    self._policy.workers += 1
 
     def _replace_pool(self, broken: Executor) -> None:
         """Swap a broken executor pool for a fresh warm one.
@@ -355,6 +491,11 @@ class StreamGateway:
                 ticket = self._queue.get_nowait()
             except asyncio.QueueEmpty:
                 return
+            if ticket is _RETIRE:
+                # An undelivered scale-down sentinel is not a request;
+                # balance the join counter and move on.
+                self._queue.task_done()
+                continue
             summary = RunSummary(
                 request=ticket.request,
                 ok=False,
@@ -372,6 +513,10 @@ class StreamGateway:
         if self._closed:
             return
         self._closed = True
+        if self._sampler is not None:
+            self._sampler.cancel()
+            await asyncio.gather(self._sampler, return_exceptions=True)
+            self._sampler = None
         await self.drain()
         for task in self._tasks:
             task.cancel()
@@ -385,6 +530,9 @@ class StreamGateway:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
 
     async def __aenter__(self) -> "StreamGateway":
         return await self.start()
@@ -446,86 +594,228 @@ class StreamGateway:
             return None
         return ms / 1000.0
 
+    def _resolve(self, ticket: _Ticket, summary: RunSummary) -> None:
+        self.metrics.observe(summary)
+        if not ticket.future.done():
+            ticket.future.set_result(summary)
+
     async def _worker(self) -> None:
         assert self._queue is not None
+        queue = self._queue
         while True:
-            ticket = await self._queue.get()
+            first = await queue.get()
+            if first is _RETIRE:
+                queue.task_done()
+                return
+            batch: List[_Ticket] = [first]
+            retire_after = False
+            if self.micro_batch > 1:
+                retire_after = await self._coalesce(batch)
             try:
-                pool = self._pool
-                try:
-                    summary = await self._process(ticket)
-                except Exception as exc:
-                    # Infrastructure failure (e.g. BrokenProcessPool after a
-                    # pool child is OOM-killed, pickling errors).  The ticket
-                    # MUST still resolve — an unresolved future deadlocks
-                    # serve() — and the worker task must survive to fail the
-                    # remaining backlog fast rather than hang it.  The run
-                    # is FAILED, not completed: it produced no result, and
-                    # mislabeling it would poison digests and percentiles.
-                    summary = RunSummary(
+                await self._dispatch_batch(batch)
+            except Exception as exc:
+                # Defensive backstop: _dispatch_batch already resolves
+                # every executor-failure path, so anything surfacing here
+                # is a dispatcher bug — still, no ticket may be left
+                # unresolved (that deadlocks serve()) and the worker task
+                # must survive to fail the backlog fast.
+                for ticket in batch:
+                    self._resolve(ticket, RunSummary(
                         request=ticket.request,
                         ok=False,
                         status=STATUS_FAILED,
                         latency_s=time.perf_counter() - ticket.enqueued_at,
-                        error=f"executor failure: {type(exc).__name__}: {exc}",
-                    )
-                    if isinstance(exc, BrokenExecutor):
-                        self._replace_pool(pool)
-                self.metrics.observe(summary)
-                if not ticket.future.done():
-                    ticket.future.set_result(summary)
+                        error=(
+                            f"executor failure: {type(exc).__name__}: {exc}"
+                        ),
+                    ))
             finally:
-                self._queue.task_done()
+                for _ in batch:
+                    queue.task_done()
+            if retire_after:
+                return
 
-    async def _process(self, ticket: _Ticket) -> RunSummary:
-        req = ticket.request
-        started = time.perf_counter()
-        waited = started - ticket.enqueued_at
-        deadline_s = self._deadline_s(req)
-        if deadline_s is not None and waited >= deadline_s:
-            return RunSummary(
-                request=req,
-                ok=False,
-                status=STATUS_CANCELLED,
-                queue_s=waited,
-                latency_s=waited,
-                error=(
-                    f"deadline: expired after {waited * 1e3:.1f}ms in queue "
-                    f"(budget {deadline_s * 1e3:.0f}ms)"
-                ),
+    async def _coalesce(self, batch: List[_Ticket]) -> bool:
+        """Adaptively drain batch-mates into ``batch``.
+
+        The target size is ``ceil(queue depth / dispatchers)`` clamped to
+        ``micro_batch`` — a dispatcher takes its fair share of the backlog
+        and no more, so an empty queue always dispatches immediately
+        (depth-adaptive batching must not tax a lightly loaded stream).
+        Only when the observed depth promised a bigger batch than the
+        queue delivered does the dispatcher linger ``micro_batch_ms`` for
+        stragglers.  Returns ``True`` when a retire sentinel was drained
+        (the caller exits after dispatching).
+        """
+        assert self._queue is not None
+        queue = self._queue
+        retire = False
+
+        def drain(limit: int) -> None:
+            nonlocal retire
+            while len(batch) < limit and not retire:
+                try:
+                    ticket = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return
+                if ticket is _RETIRE:
+                    queue.task_done()
+                    retire = True
+                    return
+                batch.append(ticket)
+
+        dispatchers = max(1, len(self._tasks))
+        target = max(1, min(
+            self.micro_batch, -(-queue.qsize() // dispatchers) + 1
+        ))
+        drain(target)
+        if len(batch) < target and not retire and self.micro_batch_ms > 0:
+            # Single bounded linger (not a wait_for(queue.get()) — that
+            # can lose an item to cancellation); then take what arrived.
+            await asyncio.sleep(self.micro_batch_ms / 1e3)
+            drain(target)
+        return retire
+
+    async def _dispatch_batch(self, tickets: List[_Ticket]) -> None:
+        """Run one micro-batch through the executor, one hop for all.
+
+        Per-request semantics are identical to per-request dispatch (the
+        ``micro_batch=1`` default *is* per-request dispatch): queued-
+        deadline expiry is checked per ticket before the hop, mid-run
+        deadlines are enforced per ticket against the shared hop, and an
+        executor failure fails every non-abandoned ticket in the batch.
+        """
+        now = time.perf_counter()
+        live: List[_Ticket] = []
+        waited: Dict[int, float] = {}
+        deadlines: Dict[int, Optional[float]] = {}
+        for ticket in tickets:
+            w = now - ticket.enqueued_at
+            deadline_s = self._deadline_s(ticket.request)
+            if deadline_s is not None and w >= deadline_s:
+                self._resolve(ticket, RunSummary(
+                    request=ticket.request,
+                    ok=False,
+                    status=STATUS_CANCELLED,
+                    queue_s=w,
+                    latency_s=w,
+                    error=(
+                        f"deadline: expired after {w * 1e3:.1f}ms in queue "
+                        f"(budget {deadline_s * 1e3:.0f}ms)"
+                    ),
+                ))
+                continue
+            live.append(ticket)
+            waited[id(ticket)] = w
+            deadlines[id(ticket)] = deadline_s
+        if not live:
+            return
+
+        pool = self._pool
+        requests = [t.request for t in live]
+        envelope: Optional[PendingEnvelope] = None
+        if self.backend == "process" and self._transport is not None:
+            envelope = self._transport.dispatch(pool, requests)
+            task: "asyncio.Future[object]" = asyncio.wrap_future(
+                envelope.future
             )
-        budget = None if deadline_s is None else deadline_s - waited
-        loop = asyncio.get_running_loop()
-        call = loop.run_in_executor(self._pool, execute_request, req)
+        else:
+            loop = asyncio.get_running_loop()
+            task = loop.run_in_executor(pool, _run_tickets, requests)
+
+        # Enforce mid-run deadlines per ticket, soonest first.  The hop is
+        # shared, so a timed-out ticket abandons its *result*, never the
+        # hop: shield() keeps the underlying work running for batch-mates
+        # with laxer (or no) budgets.
+        abandoned: set = set()
+        timed = sorted(
+            (t for t in live if deadlines[id(t)] is not None),
+            key=lambda t: t.enqueued_at + deadlines[id(t)],
+        )
+        for ticket in timed:
+            if task.done():
+                break
+            remaining = (
+                ticket.enqueued_at + deadlines[id(ticket)]
+                - time.perf_counter()
+            )
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(task), max(0.0, remaining)
+                )
+            except asyncio.TimeoutError:
+                total = time.perf_counter() - ticket.enqueued_at
+                deadline_s = deadlines[id(ticket)]
+                abandoned.add(id(ticket))
+                self._resolve(ticket, RunSummary(
+                    request=ticket.request,
+                    ok=False,
+                    status=STATUS_CANCELLED,
+                    queue_s=waited[id(ticket)],
+                    latency_s=total,
+                    error=(
+                        f"deadline: exceeded mid-run after "
+                        f"{total * 1e3:.1f}ms "
+                        f"(budget {deadline_s * 1e3:.0f}ms); "
+                        f"result abandoned"
+                    ),
+                ))
+            except Exception:
+                break  # surfaced to every survivor by the await below
+
+        if len(abandoned) == len(live) and not task.done():
+            # Nobody is waiting for this hop anymore.  Don't: the
+            # dispatcher is worth more than the stale result.  The
+            # envelope's slot recycles (and the exception, if any, is
+            # consumed) when the hop eventually settles.
+            if envelope is not None:
+                envelope.abandon()
+            task.add_done_callback(_swallow_task_result)
+            return
+
         try:
-            summary = await asyncio.wait_for(call, timeout=budget)
-        except asyncio.TimeoutError:
-            total = time.perf_counter() - ticket.enqueued_at
-            return RunSummary(
-                request=req,
-                ok=False,
-                status=STATUS_CANCELLED,
-                queue_s=waited,
-                latency_s=total,
-                error=(
-                    f"deadline: exceeded mid-run after {total * 1e3:.1f}ms "
-                    f"(budget {deadline_s * 1e3:.0f}ms); result abandoned"
-                ),
-            )
+            raw = await task
+        except Exception as exc:
+            # Infrastructure failure (e.g. BrokenProcessPool after a pool
+            # child is OOM-killed, pickling errors).  Every non-abandoned
+            # ticket MUST still resolve — an unresolved future deadlocks
+            # serve().  The runs are FAILED, not completed: they produced
+            # no result, and mislabeling them would poison digests and
+            # percentiles.
+            if envelope is not None:
+                envelope.abandon()
+            for ticket in live:
+                if id(ticket) in abandoned:
+                    continue
+                self._resolve(ticket, RunSummary(
+                    request=ticket.request,
+                    ok=False,
+                    status=STATUS_FAILED,
+                    latency_s=time.perf_counter() - ticket.enqueued_at,
+                    error=f"executor failure: {type(exc).__name__}: {exc}",
+                ))
+            if isinstance(exc, BrokenExecutor):
+                self._replace_pool(pool)
+            return
+
+        summaries = envelope.decode() if envelope is not None else raw
         # execute_request stamps STATUS_FAILED on runs that crashed inside
         # the worker (poison requests, resolution errors); everything else
         # ran to a judged end.  Preserve the failure label — the gateway
         # only adds its own timing.
-        return replace(
-            summary,
-            status=(
-                summary.status
-                if summary.status == STATUS_FAILED
-                else STATUS_COMPLETED
-            ),
-            queue_s=waited,
-            latency_s=time.perf_counter() - ticket.enqueued_at,
-        )
+        for ticket, summary in zip(live, summaries):
+            if id(ticket) in abandoned:
+                continue
+            self._resolve(ticket, replace(
+                summary,
+                status=(
+                    summary.status
+                    if summary.status == STATUS_FAILED
+                    else STATUS_COMPLETED
+                ),
+                queue_s=waited[id(ticket)],
+                latency_s=time.perf_counter() - ticket.enqueued_at,
+            ))
 
 
 async def replay(
@@ -571,6 +861,8 @@ class StreamReport:
     deadline_ms: Optional[float]
     engine: str
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: envelope transport the gateway used ("" for the thread backend).
+    transport: str = ""
 
     @property
     def completed(self) -> List[RunSummary]:
@@ -622,6 +914,7 @@ class StreamReport:
         return {
             "backend": self.backend,
             "workers": self.workers,
+            "transport": self.transport,
             "queue_cap": self.queue_cap,
             "policy": self.policy,
             "deadline_ms": self.deadline_ms,
@@ -653,6 +946,10 @@ def serve(
     queue_cap: int = 64,
     policy: str = "reject",
     deadline_ms: Optional[float] = None,
+    transport: str = "shm",
+    micro_batch: int = 1,
+    autoscale: bool = False,
+    autoscale_policy: Optional[AutoscalePolicy] = None,
     warmup: bool = True,
     record: Optional[str] = None,
 ) -> StreamReport:
@@ -691,6 +988,7 @@ def serve(
                     "queue_cap": queue_cap,
                     "policy": policy,
                     "deadline_ms": deadline_ms,
+                    "transport": transport if backend == "process" else "",
                 },
             )
         gateway = StreamGateway(
@@ -700,9 +998,14 @@ def serve(
             queue_cap=queue_cap,
             policy=policy,
             deadline_ms=deadline_ms,
+            transport=transport,
+            micro_batch=micro_batch,
+            autoscale=autoscale,
+            autoscale_policy=autoscale_policy,
         )
         try:
             async with gateway:
+                used_transport = gateway.transport_name
                 front = (
                     gateway if recorder is None else recorder.attach(gateway)
                 )
@@ -726,6 +1029,7 @@ def serve(
             deadline_ms=deadline_ms,
             engine=engine,
             metrics=gateway.metrics.to_dict(),
+            transport=used_transport,
         )
 
     return asyncio.run(_main())
@@ -794,7 +1098,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--arrivals", default="poisson",
-        choices=("poisson", "uniform", "saturated"),
+        choices=("poisson", "uniform", "saturated", "bursty"),
         help="arrival process (default: poisson; --rate 0 forces saturated)",
     )
     parser.add_argument(
@@ -816,6 +1120,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--backend", default="process", choices=BACKENDS,
         help="executor backend (default: process)",
+    )
+    parser.add_argument(
+        "--transport", default="shm", choices=TRANSPORTS,
+        help=(
+            "envelope transport of the process backend: shm (shared-memory "
+            "slots, auto-degrading to pickle where unavailable) or pickle "
+            "(default: shm)"
+        ),
+    )
+    parser.add_argument(
+        "--micro-batch", type=int, default=1, metavar="K",
+        help=(
+            "coalesce up to K queued requests into one executor hop, "
+            "adapted to queue depth (default 1: per-request dispatch)"
+        ),
+    )
+    parser.add_argument(
+        "--autoscale", action="store_true",
+        help=(
+            "spawn/retire dispatcher tasks on sustained queue-depth "
+            "pressure (pool sized for --workers as the maximum)"
+        ),
     )
     parser.add_argument(
         "--engine", default="fast", choices=available_engines(),
@@ -884,6 +1210,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         queue_cap=args.queue_cap,
         policy=args.policy,
         deadline_ms=args.deadline_ms,
+        transport=args.transport,
+        micro_batch=args.micro_batch,
+        autoscale=args.autoscale,
         warmup=not args.no_warmup,
         record=args.record,
     )

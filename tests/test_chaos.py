@@ -28,6 +28,7 @@ from repro.service import (
 )
 from repro.service.chaos import main as chaos_main
 from repro.service.stream import structural_warmup
+from repro.service.transport import ShmArena
 
 SMALL_SIZES = dict(
     routing_sizes=(16,), sorting_sizes=(16,), multiplex_sizes=(16,)
@@ -194,7 +195,23 @@ def test_run_chaos_gates_pass_with_worker_kill():
     assert doc["ok"] is True
     assert set(doc["gates"]) == {
         "recovered", "faults_contained", "digests_correct", "p99_bounded",
+        "shm_leak_free",
     }
+    assert doc["gates"]["shm_leak_free"] is True
+
+
+def test_worker_kill_leaks_no_shm_segments():
+    """A SIGKILLed worker must not strand shared-memory segments: slots are
+    parent-owned, so the dead child can at worst leave a slot marked in-use
+    until the envelope is abandoned — never an unlinked-but-live segment."""
+    before = set(ShmArena.live_segments())
+    requests = _requests(8, seed0=31)
+    requests[2] = inject(requests[2], "kill")
+    service = BatchService(workers=2, warmup=False, chunk=2, transport="shm")
+    report = service.run_batch(requests)
+    assert report.pool_replacements >= 1  # the kill actually landed
+    after = set(ShmArena.live_segments())
+    assert after <= before, f"leaked shm segments: {sorted(after - before)}"
 
 
 # -- CLI ----------------------------------------------------------------------

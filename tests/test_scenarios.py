@@ -175,8 +175,9 @@ def test_arrival_times_dispatch_and_errors():
     )
     assert arrival_times("saturated", 5.0, 3) == [0.0, 0.0, 0.0]
     assert len(arrival_times("uniform", 5.0, 3)) == 3
+    assert len(arrival_times("bursty", 5.0, 12, seed=3)) == 12
     with pytest.raises(ValueError, match="unknown arrival process"):
-        arrival_times("bursty", 5.0, 3)
+        arrival_times("fibonacci", 5.0, 3)
     with pytest.raises(ValueError):
         arrival_times("poisson", 0.0, 3)
     with pytest.raises(ValueError):

@@ -235,9 +235,14 @@ def test_gateway_default_deadline_applies_to_unset_requests(sleepy_algorithm):
     first, second = report.summaries
     # The slow request itself overran the default budget mid-run...
     assert first.status == STATUS_CANCELLED
-    # ...and the queued one expired while waiting behind it.
+    # ...and the queued one was cancelled by the same default budget.
+    # Abandoning the slow run frees the dispatcher at almost exactly the
+    # queued request's own expiry, so whether it dies in queue or is
+    # dispatched with sub-millisecond budget and abandoned mid-run is a
+    # scheduling race; the default deadline applying at all is the
+    # contract.
     assert second.status == STATUS_CANCELLED
-    assert "in queue" in second.error
+    assert "deadline" in second.error
 
 
 # -- gateway mechanics -------------------------------------------------------
