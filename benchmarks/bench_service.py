@@ -15,7 +15,6 @@ Results land in ``BENCH_engines.json`` under the ``service`` section.
 """
 
 import os
-import time
 
 from repro.scenarios import Scenario, mixed_batch, output_digest
 from repro.scenarios.runner import ALGORITHMS, default_algorithm
@@ -130,6 +129,7 @@ def test_bench_service_throughput(benchmark, table_printer, bench_json):
                 "wall_s": round(t, 3),
                 "instances_per_s": round(r, 2),
                 "speedup": round(s, 3),
+                "gated": enforced and w > 1,
                 "batch_digest": d,
             }
             for b, w, x, n, t, r, s, d in rows

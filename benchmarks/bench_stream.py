@@ -115,6 +115,7 @@ def _measure():
             "wall_s": round(sequential.wall_s, 3),
             "instances_per_s": round(sequential.throughput, 2),
             "speedup": 1.0,
+            "gated": False,
             "p50_ms": None,
             "p95_ms": None,
             "p99_ms": None,
@@ -130,6 +131,7 @@ def _measure():
             "wall_s": round(saturated.wall_s, 3),
             "instances_per_s": round(saturated.throughput, 2),
             "speedup": round(speedup, 3),
+            "gated": True,
             "p50_ms": _latency(saturated, "p50_ms"),
             "p95_ms": _latency(saturated, "p95_ms"),
             "p99_ms": _latency(saturated, "p99_ms"),
@@ -145,6 +147,7 @@ def _measure():
             "wall_s": round(open_loop.wall_s, 3),
             "instances_per_s": round(open_loop.throughput, 2),
             "speedup": None,
+            "gated": False,
             "p50_ms": _latency(open_loop, "p50_ms"),
             "p95_ms": _latency(open_loop, "p95_ms"),
             "p99_ms": _latency(open_loop, "p99_ms"),

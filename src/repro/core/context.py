@@ -156,6 +156,9 @@ class PlanCache:
         for key, value in self._store.items():
             try:
                 pickle.dumps((key, value), protocol=pickle.HIGHEST_PROTOCOL)
+            # repro: ignore[RPR006] -- deliberately broad: a custom plan's
+            # __reduce__ may raise anything; an unpicklable entry is simply
+            # not shipped, it must never fail the warmup.
             except Exception:
                 continue
             out[key] = value

@@ -34,7 +34,7 @@ own with :func:`register_engine`::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional, Union
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple, Union
 
 from .context import NodeContext, SharedCache
 from .errors import ModelViolation, ProtocolError
@@ -320,7 +320,12 @@ class _RunState:
         self,
         program_factory: ProgramFactory,
         coerce: Callable[[Any, int, int], Dict[int, Packet]],
-    ):
+    ) -> Tuple[
+        List[Optional[NodeGen]],
+        List[Any],
+        List[bool],
+        List[Dict[int, Packet]],
+    ]:
         """Instantiate and prime every generator.
 
         Returns ``(gens, outputs, done, pending)`` where ``pending[i]`` is

@@ -14,7 +14,7 @@ logical values (e.g. "two keys per message" in Algorithm 4's Step 6).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Sequence, Tuple, Union
 
 from .errors import CapacityExceeded, WordSizeViolation
 
@@ -54,7 +54,7 @@ class Packet:
     def __iter__(self) -> Iterator[int]:
         return iter(self.words)
 
-    def __getitem__(self, idx):
+    def __getitem__(self, idx: Union[int, slice]) -> Union[int, Tuple[int, ...]]:
         return self.words[idx]
 
 

@@ -1,0 +1,6 @@
+"""``python -m repro.devtools`` delegates to the linter CLI."""
+
+from .lint import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

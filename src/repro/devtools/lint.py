@@ -1,0 +1,502 @@
+"""AST-visitor lint framework with a project-specific rule registry.
+
+The framework is deliberately small: a :class:`Rule` is a class with an
+``id``, path scoping, and a ``check(ctx)`` generator over
+:class:`Finding`; :class:`FileContext` hands every rule the parsed tree,
+the raw source, and the suppression table; the registry maps rule ids to
+instances.  Rules themselves live in :mod:`repro.devtools.rules` and
+encode invariants this repository has already paid to learn (see
+DESIGN.md section 11).
+
+Suppressions
+------------
+
+A finding is suppressed by a ``# repro: ignore[RULE-ID]`` comment on the
+flagged line (comma-separate several ids; ``# repro: ignore`` with no
+bracket suppresses every rule on that line).  A *standalone* comment line
+also covers the immediately following line, so multi-clause statements
+can carry an explanation above them::
+
+    # repro: ignore[RPR006] -- best-effort cleanup, never fatal
+    except Exception:
+        pass
+
+A ``# repro: ignore-file[RULE-ID]`` comment in the first ten lines
+suppresses the rule for the whole file.
+
+Command line
+------------
+
+::
+
+    python -m repro.devtools.lint src/ benchmarks/      # exit 1 on findings
+    python -m repro.devtools.lint --json src/           # JSON report
+    python -m repro.devtools.lint --experimental src/   # include noisy rules
+    python -m repro.devtools.lint --list-rules
+
+Rule selection defaults are pinned in ``pyproject.toml`` under
+``[tool.repro.lint]`` so CI runs are deterministic; CLI flags override the
+file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import fnmatch
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    ClassVar,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "register_rule",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+#: Bumped when the JSON report layout changes shape.
+JSON_SCHEMA_VERSION = 1
+
+#: Pseudo-rule id for files that do not parse; never suppressible.
+PARSE_ERROR_ID = "RPR900"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(-file)?(?:\[([A-Za-z0-9_,\s-]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class _Suppressions:
+    """Per-file suppression table parsed from ``# repro: ignore`` comments."""
+
+    #: sentinel meaning "every rule" (bare ``# repro: ignore``).
+    ALL = "*"
+
+    def __init__(self, source: str) -> None:
+        self.by_line: Dict[int, FrozenSet[str]] = {}
+        self.file_wide: FrozenSet[str] = frozenset()
+        self._parse(source)
+
+    def _parse(self, source: str) -> None:
+        lines = source.splitlines()
+        file_wide: Set[str] = set()
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            return  # unparseable files are reported as parse errors anyway
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            is_file_wide = match.group(1) is not None
+            raw_ids = match.group(2)
+            ids: FrozenSet[str] = (
+                frozenset({self.ALL})
+                if raw_ids is None
+                else frozenset(
+                    part.strip().upper()
+                    for part in raw_ids.split(",")
+                    if part.strip()
+                )
+            )
+            line = tok.start[0]
+            if is_file_wide:
+                if line <= 10:
+                    file_wide |= ids
+                continue
+            self._add(line, ids)
+            before = lines[line - 1][: tok.start[1]] if line <= len(lines) else ""
+            if not before.strip():
+                # Standalone comment: also covers the first code line after
+                # the comment block, so an explanation may span several
+                # comment lines above the flagged statement.
+                target = line + 1
+                while target <= len(lines):
+                    text = lines[target - 1].strip()
+                    if text and not text.startswith("#"):
+                        break
+                    target += 1
+                self._add(target, ids)
+        self.file_wide = frozenset(file_wide)
+
+    def _add(self, line: int, ids: FrozenSet[str]) -> None:
+        self.by_line[line] = self.by_line.get(line, frozenset()) | ids
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        if self.ALL in self.file_wide or rule_id in self.file_wide:
+            return True
+        ids = self.by_line.get(line)
+        if ids is None:
+            return False
+        return self.ALL in ids or rule_id in ids
+
+
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        #: display path, always posix-style (what scoping patterns match).
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._suppressions = _Suppressions(source)
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        return self._suppressions.suppressed(rule_id, line)
+
+    def finding(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> Optional[Finding]:
+        """Build a finding at ``node`` unless suppressed (then ``None``)."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressed(rule_id, line):
+            return None
+        return Finding(rule_id, self.path, line, col, message)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set the class attributes and implement :meth:`check` as a
+    generator of :class:`Finding` (use :meth:`FileContext.finding`, which
+    already applies suppressions).  ``include``/``exclude`` are fnmatch
+    patterns against the posix display path; a rule only runs on files
+    matching at least one ``include`` and no ``exclude``.
+    """
+
+    id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+    #: which shipped bug motivated the rule (shown by --list-rules).
+    rationale: ClassVar[str] = ""
+    #: experimental rules only run under --experimental (nightly CI).
+    experimental: ClassVar[bool] = False
+    include: ClassVar[Tuple[str, ...]] = ("*.py",)
+    exclude: ClassVar[Tuple[str, ...]] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if not any(fnmatch.fnmatch(path, pat) for pat in self.include):
+            return False
+        return not any(fnmatch.fnmatch(path, pat) for pat in self.exclude)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+        yield  # pragma: no cover - generator typing aid
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one instance of ``cls`` to the registry."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules(experimental: bool = False) -> List[Rule]:
+    """Registered rules, stable ones first, experimental only on request."""
+    _ensure_rules_loaded()
+    rules = sorted(_REGISTRY.values(), key=lambda r: r.id)
+    if experimental:
+        return rules
+    return [r for r in rules if not r.experimental]
+
+
+def _ensure_rules_loaded() -> None:
+    # Imported lazily so `import repro.devtools.lint` never cycles with
+    # rules that may want framework names at module import time.
+    from . import rules as _rules  # noqa: F401
+
+
+@dataclass
+class LintConfig:
+    """Resolved rule selection for one lint run."""
+
+    select: Optional[FrozenSet[str]] = None
+    experimental: bool = False
+
+    def active_rules(self) -> List[Rule]:
+        rules = all_rules(experimental=True)
+        if self.select is not None:
+            return [r for r in rules if r.id in self.select]
+        if self.experimental:
+            return rules
+        return [r for r in rules if not r.experimental]
+
+
+def lint_source(
+    source: str, path: str, config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Lint one in-memory source blob under display path ``path``."""
+    config = config or LintConfig()
+    display = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                PARSE_ERROR_ID,
+                display,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(display, source, tree)
+    findings: List[Finding] = []
+    for rule in config.active_rules():
+        if not rule.applies_to(display):
+            continue
+        findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def _iter_py_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            for f in sorted(p.rglob("*.py")):
+                if "__pycache__" in f.parts:
+                    continue
+                if any(part.startswith(".") for part in f.parts[1:]):
+                    continue
+                yield f
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> Tuple[List[Finding], int]:
+    """Lint files/directories; returns ``(findings, files_scanned)``."""
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    scanned = 0
+    for file in _iter_py_files(paths):
+        scanned += 1
+        try:
+            source = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    PARSE_ERROR_ID,
+                    file.as_posix(),
+                    1,
+                    0,
+                    f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        findings.extend(lint_source(source, file.as_posix(), config))
+    return findings, scanned
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def _load_pyproject_selection(
+    explicit: Optional[str],
+) -> Tuple[Optional[FrozenSet[str]], Optional[bool]]:
+    """``(select, experimental)`` pinned in pyproject.toml, if any.
+
+    Looks for ``[tool.repro.lint]`` in the explicit ``--config`` file or in
+    a ``pyproject.toml`` found next to the current directory or any parent.
+    Silently returns no pins when :mod:`tomllib` is unavailable (< 3.11) or
+    nothing is configured — the CLI then runs every stable rule.
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: defaults only
+        return None, None
+    candidates: List[Path] = []
+    if explicit is not None:
+        candidates.append(Path(explicit))
+    else:
+        here = Path.cwd()
+        for parent in (here, *here.parents):
+            candidates.append(parent / "pyproject.toml")
+    for candidate in candidates:
+        if not candidate.is_file():
+            continue
+        try:
+            doc = tomllib.loads(candidate.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None, None
+        section = doc.get("tool", {}).get("repro", {}).get("lint", {})
+        if not isinstance(section, dict):
+            return None, None
+        select_raw = section.get("select")
+        select: Optional[FrozenSet[str]] = None
+        if isinstance(select_raw, list):
+            select = frozenset(str(item).upper() for item in select_raw)
+        experimental_raw = section.get("experimental")
+        experimental = (
+            experimental_raw if isinstance(experimental_raw, bool) else None
+        )
+        return select, experimental
+    return None, None
+
+
+def _render_report(
+    findings: Iterable[Finding], scanned: int, as_json: bool,
+    config: LintConfig,
+) -> str:
+    findings = list(findings)
+    if as_json:
+        doc = {
+            "schema": JSON_SCHEMA_VERSION,
+            "files_scanned": scanned,
+            "rules": [r.id for r in config.active_rules()],
+            "findings": [f.to_dict() for f in findings],
+        }
+        return json.dumps(doc, indent=2, sort_keys=True)
+    lines = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(
+        f"repro-lint: {len(findings)} {noun} in {scanned} file(s)"
+    )
+    return "\n".join(lines)
+
+
+def _list_rules() -> str:
+    rows = []
+    for rule in all_rules(experimental=True):
+        tag = " [experimental]" if rule.experimental else ""
+        rows.append(f"{rule.id}{tag}  {rule.name}")
+        rows.append(f"    {rule.description}")
+        if rule.rationale:
+            rows.append(f"    motivated by: {rule.rationale}")
+    return "\n".join(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description=(
+            "Project-aware static analysis: AST rules encoding this "
+            "repository's hard-won concurrency/serialization invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=[], metavar="PATH",
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (overrides pyproject pin)",
+    )
+    parser.add_argument(
+        "--experimental", action="store_true",
+        help="also run experimental (noisy) rules — the nightly mode",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report",
+    )
+    parser.add_argument(
+        "--exit-zero", action="store_true",
+        help="always exit 0 (report-only mode, used by nightly CI)",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="PYPROJECT",
+        help="explicit pyproject.toml carrying [tool.repro.lint]",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    pin_select, pin_experimental = _load_pyproject_selection(args.config)
+    select: Optional[FrozenSet[str]] = pin_select
+    if args.select is not None:
+        select = frozenset(
+            part.strip().upper()
+            for part in args.select.split(",")
+            if part.strip()
+        )
+    experimental = args.experimental or bool(pin_experimental)
+    if experimental and select is not None and args.select is None:
+        # The pyproject pin freezes the *stable* gate; experimental mode
+        # unions the experimental set on top rather than being filtered
+        # out by the pin.  An explicit --select stays exact.
+        select = select | frozenset(
+            r.id for r in all_rules(experimental=True) if r.experimental
+        )
+    config = LintConfig(select=select, experimental=experimental)
+
+    paths = args.paths or ["src"]
+    findings, scanned = lint_paths(paths, config)
+    print(_render_report(findings, scanned, args.json, config))
+    if args.exit_zero:
+        return 0
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    # Under ``python -m repro.devtools.lint`` runpy executes this file as
+    # ``__main__`` while the package import system holds a *second* copy
+    # (rules register against that one).  Route through the canonical
+    # module so there is exactly one registry.
+    from repro.devtools.lint import main as _canonical_main
+
+    raise SystemExit(_canonical_main())

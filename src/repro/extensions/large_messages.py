@@ -19,9 +19,9 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.errors import InvalidInstance
-from ..core.network import CongestedClique, RunResult
+from ..core.network import CongestedClique
 from ..routing.lenzen import _wire, header_base, lenzen_wire_program
-from ..routing.problem import Message, RoutingInstance
+from ..routing.problem import Message
 
 
 class WideMessage:

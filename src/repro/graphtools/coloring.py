@@ -48,9 +48,12 @@ def koenig_edge_coloring(graph: BipartiteMultigraph) -> List[int]:
     d = graph.regular_degree()
     colors: List[Optional[int]] = [None] * graph.num_edges
     _color_regular(graph, list(range(graph.num_edges)), d, 0, colors)
-    if any(c is None for c in colors):
-        raise ColoringError("internal error: some edges left uncolored")
-    return colors  # type: ignore[return-value]
+    out: List[int] = []
+    for c in colors:
+        if c is None:
+            raise ColoringError("internal error: some edges left uncolored")
+        out.append(c)
+    return out
 
 
 def _color_regular(

@@ -36,8 +36,12 @@ def maximum_matching(graph: BipartiteMultigraph) -> List[int]:
     match_left: List[Optional[int]] = [None] * graph.left_size
     match_right: List[Optional[int]] = [None] * graph.right_size
 
+    # Layered distances from the latest BFS phase, shared with dfs below.
+    dist: List[float] = [INF] * graph.left_size
+
     def bfs() -> bool:
-        dist: List[float] = [INF] * graph.left_size
+        nonlocal dist
+        dist = [INF] * graph.left_size
         queue: deque = deque()
         for u in range(graph.left_size):
             if match_left[u] is None:
@@ -53,11 +57,9 @@ def maximum_matching(graph: BipartiteMultigraph) -> List[int]:
                 elif dist[w] is INF:
                     dist[w] = dist[u] + 1
                     queue.append(w)
-        bfs.dist = dist  # type: ignore[attr-defined]
         return found_augmenting
 
     def dfs(u: int) -> bool:
-        dist = bfs.dist  # type: ignore[attr-defined]
         for v in simple_adj[u]:
             w = match_right[v]
             if w is None or (dist[w] == dist[u] + 1 and dfs(w)):

@@ -12,7 +12,7 @@ the two sides are separate namespaces.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.errors import ColoringError
 

@@ -349,7 +349,7 @@ def lenzen_wire_program(
         if strict and len(assignments) != n:
             raise ProtocolError("Alg2 Step 6: expected to send n messages")
         inbox = yield _send_bundled(assignments, 2, ctx.capacity)
-        held = sorted(_recv_bundled(inbox, 2))  # type: ignore[assignment]
+        held = sorted((it[0], it[1]) for it in _recv_bundled(inbox, 2))
         if strict and len(held) != n:
             raise ProtocolError(
                 f"Alg2 Step 6: received {len(held)} messages, expected {n}"
@@ -404,7 +404,7 @@ def lenzen_wire_program(
             ("a1s3r", counts3_t, g),
             item_width=2,
         )
-        held = [tuple(it) for it in received3]  # type: ignore[assignment]
+        held = [(it[0], it[1]) for it in received3]
 
         by_dgroup = {}
         for w in held:
@@ -429,7 +429,7 @@ def lenzen_wire_program(
                 dest_node = part.member(j, k % s)
                 assignments.setdefault(dest_node, []).append(w)
         inbox = yield _send_bundled(assignments, 2, ctx.capacity)
-        held = sorted(_recv_bundled(inbox, 2))  # type: ignore[assignment]
+        held = sorted((it[0], it[1]) for it in _recv_bundled(inbox, 2))
         if any(dgroup(w) != g for w in held):
             raise ProtocolError(
                 "Alg1 Step 4 invariant: every held message must be destined "

@@ -49,7 +49,7 @@ from ..routing import (
     verify_delivery,
 )
 from ..sorting import sample_sort, sort_lenzen, verify_sorted_batches
-from .generators import BurstyMultiplexWorkload, Scenario
+from .generators import Scenario
 
 
 @dataclass(frozen=True)

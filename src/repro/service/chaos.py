@@ -65,7 +65,6 @@ from .batch import (
     CHAOS_TAG_PREFIX,
     BatchService,
     requests_from_scenarios,
-    summaries_digest,
 )
 from .transport import TRANSPORTS, ShmArena
 

@@ -760,8 +760,11 @@ class StreamGateway:
                         f"result abandoned"
                     ),
                 ))
+            # repro: ignore[RPR006] -- not swallowed: the same exception
+            # re-raises out of the shared `await task` below, where every
+            # surviving ticket is resolved as STATUS_FAILED.
             except Exception:
-                break  # surfaced to every survivor by the await below
+                break
 
         if len(abandoned) == len(live) and not task.done():
             # Nobody is waiting for this hop anymore.  Don't: the

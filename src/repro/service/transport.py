@@ -50,10 +50,10 @@ from __future__ import annotations
 
 import struct
 import uuid
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future
 from multiprocessing import resource_tracker, shared_memory
 from operator import attrgetter
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.engine import RunRequest, RunSummary
 from ..core.wire import (
@@ -327,7 +327,9 @@ class ShmArena:
                 )
                 self._slots.append(Slot(shm))
                 ShmArena._live[shm.name] = self
-        except Exception:
+        except (OSError, ValueError):
+            # Slot creation failed partway (shm exhaustion, bad size):
+            # unlink whatever was already created, then surface the error.
             self.close()
             raise
         self._closed = False
@@ -365,6 +367,8 @@ class ShmArena:
     def __del__(self) -> None:  # last-resort cleanup; close() is the API
         try:
             self.close()
+        # repro: ignore[RPR006] -- best-effort shm cleanup: __del__ may run
+        # during interpreter teardown where any module global can be None.
         except Exception:
             pass
 
@@ -505,8 +509,8 @@ class PendingEnvelope:
         def _settle(f: "Future[Any]") -> None:
             try:
                 f.exception()
-            except Exception:
-                pass
+            except CancelledError:
+                pass  # an abandoned hop may also have been cancelled
             self._release()
 
         if self.future.done():

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import bisect
 import random
-from typing import Callable, Dict, Generator, List, Tuple
+from typing import Callable, Dict, Generator, List
 
 from ..core.context import NodeContext
 from ..core.engine import EngineSpec

@@ -30,7 +30,7 @@ but is not implemented; use square ``n``).
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Tuple
 
 from ..core.context import NodeContext
 from ..core.engine import EngineSpec

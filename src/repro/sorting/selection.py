@@ -16,7 +16,7 @@ solutions for related problems like selection or determining modes"
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, List, Tuple
+from typing import Callable, Dict, Generator, List
 
 from ..core.context import NodeContext
 from ..core.errors import ProtocolError

@@ -1,0 +1,9 @@
+"""TP: the PR-7 silent-waiver bug — a speedup row without a gate flag."""
+
+
+def payload_row(wall, base):
+    return {
+        "backend": "pool",
+        "wall_s": wall,
+        "speedup": base / wall,
+    }

@@ -1,0 +1,10 @@
+"""TN: the PR-7 fix — every ratio row says whether it is gate-enforced."""
+
+
+def payload_row(wall, base, enforced):
+    return {
+        "backend": "pool",
+        "wall_s": wall,
+        "speedup": base / wall,
+        "gated": enforced,
+    }

@@ -1,0 +1,9 @@
+"""TP: the PR-3 verify_mode bug — flipping the global PlanCache flag."""
+
+
+def audit(plan_cache, recompute):
+    plan_cache.enabled = False
+    try:
+        return recompute()
+    finally:
+        plan_cache.enabled = True

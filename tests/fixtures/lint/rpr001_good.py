@@ -1,0 +1,6 @@
+"""TN: the PR-3 fix — a contextvar-scoped bypass instead of the flag."""
+
+
+def audit(plan_cache, recompute):
+    with plan_cache.bypassed():
+        return recompute()

@@ -1,0 +1,7 @@
+"""TP: the PR-3 FastEngine bug — aliasing the protocol's yielded outbox."""
+
+
+def pump(gen, pending, i):
+    raw = gen.send(None)
+    pending[i] = raw
+    return None

@@ -1,0 +1,7 @@
+"""TN: the PR-3 fix — snapshot the yielded dict before storing it."""
+
+
+def pump(gen, pending, i):
+    raw = gen.send(None)
+    pending[i] = dict(raw)
+    return None

@@ -1,0 +1,9 @@
+"""TP: the PR-7 tracker bug — worker-side unregister plus a naive attach."""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def attach(name):
+    seg = shared_memory.SharedMemory(name=name)
+    resource_tracker.unregister(seg._name, "shared_memory")
+    return seg

@@ -1,0 +1,13 @@
+"""TN: the PR-7 fix — suppress the attach-side register (bpo-39959)."""
+
+from multiprocessing import resource_tracker, shared_memory
+
+
+def attach(name):
+    original = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+    return seg

@@ -1,0 +1,11 @@
+"""TP: the PR-6 mislabeling bug — a broad except swallowing the failure."""
+
+
+def settle(futures):
+    done = []
+    for fut in futures:
+        try:
+            done.append(fut.result())
+        except Exception:
+            pass
+    return done

@@ -1,0 +1,13 @@
+"""TN: the PR-6 fix — the failure is recorded as STATUS_FAILED."""
+
+STATUS_FAILED = "failed"
+
+
+def settle(futures):
+    done = []
+    for fut in futures:
+        try:
+            done.append((None, fut.result()))
+        except Exception as exc:
+            done.append((STATUS_FAILED, repr(exc)))
+    return done

@@ -1,0 +1,11 @@
+"""TP: frozen-dataclass fast construction outside the decode paths."""
+
+
+class Record:
+    pass
+
+
+def decode(payload):
+    obj = Record.__new__(Record)
+    obj.__dict__ = payload
+    return obj

@@ -1,0 +1,11 @@
+"""TN: ordinary construction through the real constructor."""
+
+
+class Record:
+    def __init__(self, header, words):
+        self.header = header
+        self.words = words
+
+
+def decode(payload):
+    return Record(payload["header"], payload["words"])

@@ -1,0 +1,10 @@
+"""TP: a blocking call directly inside an async gateway body."""
+
+import time
+
+
+async def worker(queue, results):
+    while True:
+        item = await queue.get()
+        time.sleep(0.01)
+        results.append(item)

@@ -1,0 +1,15 @@
+"""TN: the loop-friendly form — await asyncio.sleep, and blocking work
+confined to a nested callback that runs off-loop."""
+
+import asyncio
+
+
+async def worker(queue, results):
+    while True:
+        item = await queue.get()
+        await asyncio.sleep(0.01)
+
+        def on_done(fut):
+            results.append(fut.result())
+
+        item.add_done_callback(on_done)

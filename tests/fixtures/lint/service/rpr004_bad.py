@@ -1,0 +1,6 @@
+"""TP: the PR-6 stranded-future race — put() with no closed re-check."""
+
+
+async def submit(gateway, ticket):
+    await gateway.queue.put(ticket)
+    return ticket.future

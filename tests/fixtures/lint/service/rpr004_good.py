@@ -1,0 +1,8 @@
+"""TN: the PR-6 fix — re-check the closed flag after resuming from put()."""
+
+
+async def submit(gateway, ticket):
+    await gateway.queue.put(ticket)
+    if gateway.closed:
+        gateway.resolve_stragglers()
+    return ticket.future

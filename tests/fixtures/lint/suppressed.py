@@ -1,0 +1,24 @@
+"""Deliberate violations under line-level suppression directives.
+
+Must lint clean: the trailing-comment form covers its own line, and a
+standalone directive comment covers the first code line after the
+comment block.
+"""
+
+
+def audit(plan_cache, recompute):
+    plan_cache.enabled = False  # repro: ignore[RPR001] -- fixture: test harness scope
+    try:
+        return recompute()
+    finally:
+        # repro: ignore[RPR001] -- standalone directive: covers the
+        # next code line even across a multi-line explanation.
+        plan_cache.enabled = True
+
+
+def settle(fut):
+    try:
+        return fut.cancel()
+    # repro: ignore -- bare directive suppresses every rule here.
+    except Exception:
+        return None
