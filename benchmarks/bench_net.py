@@ -1,0 +1,161 @@
+"""E19: the network service on a loopback socket — wire cost and latency.
+
+A threaded server (``ServerThread`` fronting the stream gateway) and the
+blocking ``Client`` run a full-taxonomy mixed batch over a real TCP
+socket.  Two kinds of rows land in ``BENCH_engines.json`` under the
+``net`` section:
+
+* **batch** — the windowed batch run: per-request wire bytes in each
+  direction (the client counts every byte it sends and receives, frame
+  headers included) and aggregate throughput.  Wire bytes are the
+  protocol's honest overhead figure: the columnar ``RENV`` envelopes
+  plus the 8-byte frame header and 4-byte channel prefix per hop.
+* **round_trip** — single-request submit→summary round trips on a
+  dedicated connection, recorded as p50/p95/p99.
+
+The only *gate* is correctness: the remote digest must match an
+in-process sequential re-execution byte-for-byte.  The latency rows are
+explicitly ungated (``"gated": False``) — loopback round-trip timing
+measures the host's scheduler as much as the protocol and is not
+portable across CI runners.
+"""
+
+import time
+
+from repro.scenarios import remote_selfcheck_batch
+from repro.service import requests_from_scenarios
+from repro.service.batch import execute_request, summaries_digest
+from repro.service.net import Client, ServerThread
+
+BATCH = 64
+ENGINE = "fast"
+WORKERS = 2
+CHUNK = 16
+
+#: single-request round trips for the latency percentiles.
+ROUND_TRIPS = 48
+
+
+def _percentile(sorted_values, q):
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _measure():
+    requests = requests_from_scenarios(
+        remote_selfcheck_batch(BATCH, seed0=0), engine=ENGINE
+    )
+    sequential_digest = summaries_digest(
+        execute_request(r) for r in requests
+    )
+
+    with ServerThread(workers=WORKERS, engine=ENGINE) as st:
+        with Client(st.host, st.port) as client:
+            t0 = time.perf_counter()
+            summaries = client.run(requests, chunk=CHUNK)
+            batch_wall = time.perf_counter() - t0
+            sent, received = client.bytes_sent, client.bytes_received
+            version = client.protocol_version
+
+        # Fidelity first: the wire numbers are meaningless unless the
+        # remote run reproduces the sequential digest exactly.
+        assert len(summaries) == len(requests)
+        remote_digest = summaries_digest(summaries)
+        assert remote_digest == sequential_digest, (
+            f"remote digest {remote_digest} != sequential "
+            f"{sequential_digest}"
+        )
+
+        # A fresh connection for the latency sample, so the batch run's
+        # buffered frames can't smear the round-trip timings.
+        with Client(st.host, st.port) as client:
+            lat_ms = []
+            for req in requests[:ROUND_TRIPS]:
+                t0 = time.perf_counter()
+                channel = client.submit([req])
+                client.collect(channel)
+                lat_ms.append((time.perf_counter() - t0) * 1e3)
+    lat_ms.sort()
+
+    rows = [
+        {
+            "row": "batch",
+            "requests": len(requests),
+            "protocol_version": version,
+            "wall_s": round(batch_wall, 4),
+            "throughput_rps": round(len(requests) / batch_wall, 2),
+            "sent_bytes_per_req": round(sent / len(requests), 1),
+            "received_bytes_per_req": round(received / len(requests), 1),
+            "digest_match": True,
+            "gated": False,
+        },
+        {
+            "row": "round_trip",
+            "samples": len(lat_ms),
+            "p50_ms": round(_percentile(lat_ms, 50), 3),
+            "p95_ms": round(_percentile(lat_ms, 95), 3),
+            "p99_ms": round(_percentile(lat_ms, 99), 3),
+            "gated": False,
+        },
+    ]
+    return rows
+
+
+def test_bench_net_loopback(benchmark, table_printer, bench_json):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    from repro.analysis import render_table
+
+    batch = next(r for r in rows if r["row"] == "batch")
+    rtt = next(r for r in rows if r["row"] == "round_trip")
+    table_printer(
+        render_table(
+            f"E19  network service - {BATCH} mixed instances over loopback "
+            f"({WORKERS} workers, chunk {CHUNK})",
+            ["row", "req/s", "sent B/req", "recv B/req",
+             "p50 ms", "p95 ms", "p99 ms"],
+            [
+                [
+                    "batch",
+                    f"{batch['throughput_rps']:.1f}",
+                    f"{batch['sent_bytes_per_req']:.0f}",
+                    f"{batch['received_bytes_per_req']:.0f}",
+                    "-", "-", "-",
+                ],
+                [
+                    "round_trip", "-", "-", "-",
+                    f"{rtt['p50_ms']:.2f}",
+                    f"{rtt['p95_ms']:.2f}",
+                    f"{rtt['p99_ms']:.2f}",
+                ],
+            ],
+        )
+    )
+    bench_json(
+        "net",
+        {
+            "description": (
+                f"{BATCH}-instance full-taxonomy batch through "
+                f"repro.service.net over a loopback socket "
+                f"(ServerThread, {WORKERS} thread-backend workers, "
+                f"chunked submits of {CHUNK}); wire bytes count every "
+                f"frame byte in both directions; round_trip rows are "
+                f"single-request submit->summary latencies on a fresh "
+                f"connection; digest parity vs a sequential in-process "
+                f"re-execution is the only gate (loopback latency is "
+                f"host-scheduler-bound, deliberately ungated)"
+            ),
+            "engine": ENGINE,
+            "rows": rows,
+        },
+    )
+    assert batch["digest_match"]
+
+
+if __name__ == "__main__":
+    from conftest import run_standalone
+
+    raise SystemExit(run_standalone(__file__))

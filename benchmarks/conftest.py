@@ -1,4 +1,4 @@
-"""Shared helpers for the experiment benches (E1-E16 in DESIGN.md).
+"""Shared helpers for the experiment benches (E1-E19 in DESIGN.md).
 
 Every bench measures *round counts* (the paper's cost metric) and asserts
 them against the theorem bounds, while pytest-benchmark records wall-clock

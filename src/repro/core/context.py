@@ -17,6 +17,9 @@ from typing import Any, Callable, Dict, Hashable, Iterator, Optional, Tuple
 from .errors import ProtocolError
 from .metrics import OperationMeter
 
+#: sentinel distinguishing "evicted nothing" from an evicted ``None`` plan.
+_MISSING = object()
+
 
 class SharedCache:
     """Memoizer for deterministic computations performed by every node.
@@ -120,8 +123,16 @@ class PlanCache:
             self.misses += 1
             value = fn()
             if len(store) >= self.maxsize:
-                store.pop(next(iter(store)))
-                self.evictions += 1
+                # Concurrent evictors (thread-backend workers share this
+                # cache) may race to the same oldest key, or mutate the
+                # dict mid-iteration; both must degrade to "someone else
+                # already evicted", never fail the run computing a plan.
+                try:
+                    evicted = store.pop(next(iter(store)), _MISSING)
+                except (StopIteration, RuntimeError):
+                    evicted = _MISSING
+                if evicted is not _MISSING:
+                    self.evictions += 1
             store[key] = value
             return value
         self.hits += 1

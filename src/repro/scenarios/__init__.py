@@ -18,6 +18,7 @@ Smoke-run the default matrix from the command line::
 from .generators import (
     DEFAULT_MIX,
     KINDS,
+    REMOTE_SELFCHECK_MIX,
     BurstyMultiplexWorkload,
     Scenario,
     arrival_times,
@@ -27,6 +28,7 @@ from .generators import (
     mixed_batch,
     parse_mix,
     poisson_arrivals,
+    remote_selfcheck_batch,
     saturated_arrivals,
     scenario_matrix,
     uniform_arrivals,
@@ -46,6 +48,8 @@ from .runner import (
 __all__ = [
     "DEFAULT_MIX",
     "KINDS",
+    "REMOTE_SELFCHECK_MIX",
+    "remote_selfcheck_batch",
     "Scenario",
     "BurstyMultiplexWorkload",
     "default_scenarios",

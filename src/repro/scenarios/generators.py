@@ -261,6 +261,39 @@ DEFAULT_MIX = (
 )
 
 
+#: Composition of the network service's loopback selfcheck
+#: (``python -m repro.service.net selfcheck`` and CI's ``net-smoke``):
+#: every family in the taxonomy appears — the point of the differential
+#: is coverage of the wire path, not realism of the traffic blend — with
+#: extra weight on the routing families whose instances stress the
+#: columnar envelopes hardest.
+REMOTE_SELFCHECK_MIX = (
+    "routing/balanced:2,routing/skewed:2,routing/adversarial:1,"
+    "routing/transpose:1,routing/bursty:1,sorting/uniform:2,"
+    "sorting/duplicates:1,sorting/presorted:1,sorting/reversed:1,"
+    "multiplex/bursty:2"
+)
+
+
+def remote_selfcheck_batch(batch: int, seed0: int = 0) -> List["Scenario"]:
+    """The deterministic batch the remote selfcheck differentials run on.
+
+    A :func:`mixed_batch` over :data:`REMOTE_SELFCHECK_MIX` with small
+    sizes (16/25-node instances, perfect squares for the sorters), so a
+    256-instance batch stays cheap enough to execute four ways — remote
+    client, mock client, in-process gateway, sequential baseline — in a
+    CI smoke job while still touching every family's encode/decode path.
+    """
+    return mixed_batch(
+        batch,
+        mix=REMOTE_SELFCHECK_MIX,
+        routing_sizes=(16, 25),
+        sorting_sizes=(16, 25),
+        multiplex_sizes=(16, 20),
+        seed0=seed0,
+    )
+
+
 def parse_mix(spec: str) -> List[Tuple[str, str, int]]:
     """Parse a ``kind/family:weight`` mix spec into ``(kind, family, w)``.
 

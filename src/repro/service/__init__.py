@@ -26,6 +26,10 @@ Two operational companions ride on the same envelopes:
 * :mod:`repro.service.transport` — the zero-copy request/result path
   shared by both front ends: columnar envelope codec, shared-memory
   slot arena with pickle fallback, and the autoscaler policy.
+* :mod:`repro.service.net` — the networked front end: a versioned
+  length-prefixed binary protocol over TCP whose payloads are the
+  transport's columnar envelopes; asyncio server fronting the stream
+  gateway, blocking :class:`Client` and in-memory :class:`MockClient`.
 
 Command line::
 
@@ -33,8 +37,10 @@ Command line::
     python -m repro.service.stream --rate 8 --duration 2 --workers 2
     python -m repro.service.chaos --requests 24 --kills 1 --poisons 2
     python -m repro.service.recording replay capture.jsonl
+    python -m repro.service.net serve --port 7707 --workers 4
 
-See DESIGN.md sections 6 (batch), 7 (stream) and 9 (recording/chaos).
+See DESIGN.md sections 6 (batch), 7 (stream), 9 (recording/chaos) and
+12 (network service).
 """
 
 from .batch import (
@@ -86,6 +92,14 @@ _CHAOS_EXPORTS = (
     "run_chaos",
 )
 
+_NET_EXPORTS = (
+    "Client",
+    "CommonClient",
+    "MockClient",
+    "NetServer",
+    "ServerThread",
+)
+
 _TRANSPORT_EXPORTS = (
     "TRANSPORTS",
     "AutoscalePolicy",
@@ -118,6 +132,10 @@ def __getattr__(name: str):
         from . import transport
 
         return getattr(transport, name)
+    if name in _NET_EXPORTS:
+        from . import net
+
+        return getattr(net, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -133,4 +151,5 @@ __all__ = [
     *_RECORDING_EXPORTS,
     *_CHAOS_EXPORTS,
     *_TRANSPORT_EXPORTS,
+    *_NET_EXPORTS,
 ]

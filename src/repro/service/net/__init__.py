@@ -1,0 +1,95 @@
+"""Networked RPC front end: versioned binary protocol over TCP.
+
+The first process boundary in the codebase crossed by a socket: an
+asyncio server (:mod:`~repro.service.net.server`) fronts the existing
+:class:`~repro.service.stream.StreamGateway` and speaks a
+length-prefixed binary frame protocol whose data payloads are the
+`RENV` columnar envelopes from :mod:`repro.service.transport` — no
+per-request pickle on the wire.  Layers, bottom-up:
+
+* :mod:`~repro.service.net.framing` — byte-level frames, the
+  incremental decoder and the typed error vocabulary;
+* :mod:`~repro.service.net._v0` / :mod:`~repro.service.net._latest` /
+  :mod:`~repro.service.net._factory` — versioned protocol classes and
+  the negotiation registry;
+* :mod:`~repro.service.net.server` — the asyncio server: handshake,
+  session ids, per-session quotas, graceful drain;
+* :mod:`~repro.service.net.client` — the blocking :class:`Client` and
+  in-memory :class:`MockClient` behind one :class:`CommonClient` base.
+
+The wire format's normative specification is ``docs/PROTOCOL.md``;
+``tests/test_net_protocol_doc.py`` pins the two together.
+
+Command line::
+
+    python -m repro.service.net serve --port 7707 --workers 4
+    python -m repro.service.net client --port 7707 --batch 64
+    python -m repro.service.net selfcheck --batch 256
+    python -m repro.service.net bench --batch 64
+
+See DESIGN.md section 12.
+"""
+
+from ._factory import (
+    LATEST,
+    PROTOCOLS,
+    SUPPORTED_VERSIONS,
+    choose_version,
+    protocol_for_version,
+)
+from .framing import (
+    MAX_FRAME_BYTES,
+    BadMagic,
+    Frame,
+    FrameDecoder,
+    HandshakeError,
+    NetError,
+    NetTimeout,
+    OversizedFrame,
+    ServerError,
+    SessionClosed,
+    TruncatedFrame,
+    UnsupportedFrame,
+)
+
+#: Submodule exports resolved lazily (PEP 562), mirroring
+#: ``repro.service``: the client pulls in ``repro.service.batch`` and the
+#: server pulls in ``repro.service.stream`` — neither belongs in
+#: ``sys.modules`` just because someone imported the frame codec.
+_CLIENT_EXPORTS = ("Client", "CommonClient", "MockClient")
+_SERVER_EXPORTS = ("NetServer", "ServerThread")
+
+
+def __getattr__(name: str):
+    if name in _CLIENT_EXPORTS:
+        from . import client
+
+        return getattr(client, name)
+    if name in _SERVER_EXPORTS:
+        from . import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "LATEST",
+    "PROTOCOLS",
+    "SUPPORTED_VERSIONS",
+    "choose_version",
+    "protocol_for_version",
+    "MAX_FRAME_BYTES",
+    "Frame",
+    "FrameDecoder",
+    "NetError",
+    "BadMagic",
+    "OversizedFrame",
+    "TruncatedFrame",
+    "HandshakeError",
+    "UnsupportedFrame",
+    "ServerError",
+    "SessionClosed",
+    "NetTimeout",
+    *_CLIENT_EXPORTS,
+    *_SERVER_EXPORTS,
+]

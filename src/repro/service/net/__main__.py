@@ -1,0 +1,318 @@
+"""Network service CLI: ``python -m repro.service.net <command>``.
+
+Four subcommands::
+
+    serve      run a NetServer in the foreground (Ctrl-C to stop)
+    client     connect to a running server, execute a mixed batch
+    selfcheck  loopback server + client in one process; digests must
+               match the sequential baseline (CI smoke mode)
+    bench      loopback round-trip latency + per-request wire bytes
+
+``client --selfcheck`` re-executes the batch on the in-process
+sequential baseline and requires byte-identical digests — the same
+gate CI's ``net-smoke`` job runs against a real two-process serve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from typing import List, Optional
+
+from ..batch import BatchService, requests_from_scenarios, summaries_digest
+from ..transport import TRANSPORTS
+from .client import Client
+from .framing import MAX_FRAME_BYTES
+from .server import DEFAULT_SESSION_QUOTA, NetServer, ServerThread
+
+
+def _add_gateway_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="W",
+        help="gateway worker count (default 2)",
+    )
+    parser.add_argument(
+        "--engine", default="fast",
+        help="default engine stamped on engine-less requests",
+    )
+    parser.add_argument(
+        "--backend", default="thread", choices=("process", "thread"),
+        help="gateway executor backend (default thread)",
+    )
+    parser.add_argument(
+        "--queue-cap", type=int, default=64, metavar="N",
+        help="gateway queue capacity (default 64)",
+    )
+    parser.add_argument(
+        "--policy", default="reject", choices=("reject", "block"),
+        help="gateway backpressure policy (default reject)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline (default none)",
+    )
+    parser.add_argument(
+        "--transport", default="shm", choices=sorted(TRANSPORTS),
+        help="process-backend transport (default shm)",
+    )
+    parser.add_argument(
+        "--micro-batch", type=int, default=1, metavar="N",
+        help="gateway micro-batch size (default 1)",
+    )
+    parser.add_argument(
+        "--autoscale", action="store_true",
+        help="enable the gateway autoscaler",
+    )
+    parser.add_argument(
+        "--quota", type=int, default=DEFAULT_SESSION_QUOTA, metavar="N",
+        help=f"per-session queue quota (default {DEFAULT_SESSION_QUOTA})",
+    )
+    parser.add_argument(
+        "--max-frame", type=int, default=MAX_FRAME_BYTES, metavar="BYTES",
+        help="maximum frame payload size (default 8 MiB)",
+    )
+
+
+def _add_batch_args(parser: argparse.ArgumentParser) -> None:
+    from ...scenarios.generators import DEFAULT_MIX
+
+    parser.add_argument(
+        "--batch", type=int, default=64, metavar="B",
+        help="number of instances (default 64)",
+    )
+    parser.add_argument(
+        "--scenario-mix", default=DEFAULT_MIX, metavar="MIX",
+        help=f"kind/family:weight mix (default {DEFAULT_MIX!r})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; request i uses seed+i (default 0)",
+    )
+    parser.add_argument(
+        "--chunk", type=int, default=32, metavar="N",
+        help="requests per SUBMIT envelope (default 32)",
+    )
+    parser.add_argument(
+        "--protocol", type=int, default=None, metavar="V",
+        help="pin the session to protocol version V (default: negotiate)",
+    )
+
+
+def _server_kwargs(args: argparse.Namespace) -> dict:
+    return dict(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        engine=args.engine,
+        backend=args.backend,
+        queue_cap=args.queue_cap,
+        policy=args.policy,
+        deadline_ms=args.deadline_ms,
+        transport=args.transport,
+        micro_batch=args.micro_batch,
+        autoscale=args.autoscale,
+        session_quota=args.quota,
+        max_frame=args.max_frame,
+    )
+
+
+def _batch_requests(args: argparse.Namespace):
+    from ...scenarios.generators import mixed_batch
+
+    scenarios = mixed_batch(
+        args.batch, mix=args.scenario_mix, seed0=args.seed
+    )
+    return requests_from_scenarios(scenarios, engine=args.engine)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    async def _run() -> None:
+        server = NetServer(**_server_kwargs(args))
+        await server.start()
+        print(
+            f"repro.service.net serving on {server.host}:{server.port} "
+            f"(engine {args.engine}, backend {args.backend}, "
+            f"quota {args.quota})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            raise
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_client(args: argparse.Namespace, host: str, port: int) -> int:
+    requests = _batch_requests(args)
+    with Client(
+        host, port, protocol=args.protocol, timeout=args.timeout
+    ) as client:
+        t0 = time.perf_counter()
+        summaries = client.run(requests, chunk=args.chunk)
+        wall = time.perf_counter() - t0
+        info = client.server_info
+        version = client.protocol_version
+        sent, received = client.bytes_sent, client.bytes_received
+    digest = summaries_digest(summaries)
+    ok = all(s.ok for s in summaries)
+    doc = {
+        "server": info.get("server"),
+        "protocol": version,
+        "requests": len(requests),
+        "ok": ok,
+        "wall_s": round(wall, 4),
+        "digest": digest,
+        "bytes_sent": sent,
+        "bytes_received": received,
+    }
+    selfcheck_ok = True
+    if args.selfcheck:
+        baseline = BatchService(workers=0, engine=args.engine).run_batch(
+            requests
+        )
+        selfcheck_ok = baseline.batch_digest() == digest
+        doc["selfcheck"] = {
+            "sequential_digest": baseline.batch_digest(),
+            "match": selfcheck_ok,
+        }
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"net client: {len(requests)} requests over protocol v{version} "
+            f"in {wall:.2f}s — digest {digest}"
+        )
+        print(
+            f"wire: {sent} bytes sent, {received} received "
+            f"({(sent + received) / max(1, len(requests)):.0f} B/request)"
+        )
+        if args.selfcheck:
+            status = "match" if selfcheck_ok else "MISMATCH"
+            print(f"selfcheck: sequential digest -> {status}")
+    if not ok:
+        for s in summaries:
+            if not s.ok:
+                print(f"FAIL {s.request.name}: {s.error}", file=sys.stderr)
+        return 1
+    if not selfcheck_ok:
+        print(
+            "selfcheck FAILED: remote and sequential digests disagree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    return _run_client(args, args.host, args.port)
+
+
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    args.selfcheck = True
+    with ServerThread(**_server_kwargs(args)) as st:
+        return _run_client(args, st.host, st.port)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    requests = _batch_requests(args)
+    with ServerThread(**_server_kwargs(args)) as st:
+        with Client(st.host, st.port, timeout=args.timeout) as client:
+            lat_ms: List[float] = []
+            for i in range(0, len(requests), args.chunk):
+                envelope = requests[i:i + args.chunk]
+                t0 = time.perf_counter()
+                channel = client.submit(envelope)
+                client.collect(channel)
+                lat_ms.append((time.perf_counter() - t0) * 1e3)
+            sent, received = client.bytes_sent, client.bytes_received
+    lat_ms.sort()
+
+    def pct(p: float) -> float:
+        return lat_ms[min(len(lat_ms) - 1, int(p * len(lat_ms)))]
+
+    per_req = (sent + received) / max(1, len(requests))
+    print(
+        f"net bench: {len(requests)} requests in {len(lat_ms)} envelopes "
+        f"of <= {args.chunk}"
+    )
+    print(
+        f"envelope round-trip ms: p50 {pct(0.50):.2f} "
+        f"p95 {pct(0.95):.2f} p99 {pct(0.99):.2f}"
+    )
+    print(
+        f"wire bytes: {sent} sent, {received} received "
+        f"({per_req:.0f} B/request)"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.net",
+        description="Versioned binary RPC front end for the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run a server in the foreground")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7707)
+    _add_gateway_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser("client", help="run a batch against a server")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7707)
+    p_client.add_argument("--timeout", type=float, default=60.0)
+    p_client.add_argument(
+        "--engine", default="fast",
+        help="engine stamped on every request (default fast)",
+    )
+    p_client.add_argument(
+        "--selfcheck", action="store_true",
+        help="compare the remote digest against the sequential baseline",
+    )
+    p_client.add_argument("--json", action="store_true")
+    _add_batch_args(p_client)
+    p_client.set_defaults(func=_cmd_client)
+
+    p_self = sub.add_parser(
+        "selfcheck", help="loopback server+client digest check (CI smoke)"
+    )
+    p_self.add_argument("--host", default="127.0.0.1")
+    p_self.add_argument("--port", type=int, default=0)
+    p_self.add_argument("--timeout", type=float, default=60.0)
+    p_self.add_argument("--json", action="store_true")
+    _add_gateway_args(p_self)
+    _add_batch_args(p_self)
+    from ...scenarios.generators import REMOTE_SELFCHECK_MIX
+
+    # the selfcheck differential defaults to full-taxonomy coverage
+    p_self.set_defaults(func=_cmd_selfcheck, scenario_mix=REMOTE_SELFCHECK_MIX)
+
+    p_bench = sub.add_parser(
+        "bench", help="loopback latency / wire-bytes micro-bench"
+    )
+    p_bench.add_argument("--host", default="127.0.0.1")
+    p_bench.add_argument("--port", type=int, default=0)
+    p_bench.add_argument("--timeout", type=float, default=60.0)
+    _add_gateway_args(p_bench)
+    _add_batch_args(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

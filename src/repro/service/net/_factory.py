@@ -1,0 +1,74 @@
+"""Protocol factory: negotiated version number -> protocol class.
+
+The registry is the single source of truth for what this build can
+speak.  The server advertises ``SUPPORTED_VERSIONS`` in its HELLO frame;
+the client picks the highest version both sides share (or an explicitly
+forced one — how the downgrade path is exercised in tests) and both
+sides resolve the number through :func:`protocol_for_version`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Type
+
+from ._latest import ProtocolLatest
+from ._v0 import ProtocolV0
+from .framing import HandshakeError
+
+__all__ = [
+    "LATEST",
+    "PROTOCOLS",
+    "SUPPORTED_VERSIONS",
+    "choose_version",
+    "protocol_for_version",
+]
+
+#: every dialect this build can speak, keyed by version number.
+PROTOCOLS: Dict[int, Type[ProtocolV0]] = {
+    ProtocolV0.version: ProtocolV0,
+    ProtocolLatest.version: ProtocolLatest,
+}
+
+#: the newest dialect — what a fresh client asks for by default.
+LATEST: Type[ProtocolV0] = ProtocolLatest
+
+#: ascending version numbers, as advertised in the HELLO frame.
+SUPPORTED_VERSIONS = tuple(sorted(PROTOCOLS))
+
+
+def protocol_for_version(version: int) -> Type[ProtocolV0]:
+    """The protocol class for ``version``; typed error if unknown."""
+    try:
+        return PROTOCOLS[version]
+    except KeyError:
+        raise HandshakeError(
+            f"unsupported protocol version {version}; this build speaks "
+            f"{', '.join(map(str, SUPPORTED_VERSIONS))}"
+        ) from None
+
+
+def choose_version(
+    server_versions: Sequence[int], requested: Optional[int] = None
+) -> int:
+    """Client-side version choice against a server's advertised list.
+
+    With no ``requested`` version the client picks the highest version
+    both sides share — a ``_v0``-era server downgrades a latest client
+    transparently.  An explicit ``requested`` must be mutual; it is how
+    tests (and cautious operators) pin a session to an old dialect.
+    """
+    mutual = sorted(set(server_versions) & set(SUPPORTED_VERSIONS))
+    if not mutual:
+        raise HandshakeError(
+            f"no mutual protocol version: server speaks "
+            f"{sorted(server_versions)}, client speaks "
+            f"{list(SUPPORTED_VERSIONS)}"
+        )
+    if requested is None:
+        return mutual[-1]
+    if requested not in mutual:
+        raise HandshakeError(
+            f"requested protocol version {requested} is not mutual "
+            f"(mutual: {mutual})"
+        )
+    return requested

@@ -1,0 +1,44 @@
+"""Protocol version 1 — the latest wire dialect.
+
+Subclasses :class:`~repro.service.net._v0.ProtocolV0` and adds the
+operational surface a long-lived service needs:
+
+* ``METRICS_REQ``/``METRICS`` — a client can sample the server's live
+  :class:`~repro.service.stream.StreamMetrics` rollup plus session
+  accounting;
+* ``DRAIN``/``DRAINED`` — an in-band barrier: DRAINED answers only after
+  every request this session submitted before the DRAIN has resolved;
+* **out-of-order summaries** (``ordered_summaries = False``): SUMMARY
+  frames are sent as each envelope completes, so one slow envelope never
+  convoys the session's other results.  Clients correlate by channel.
+
+Adding a version: subclass this, bump ``version``, register it in
+:mod:`repro.service.net._factory`, and extend ``docs/PROTOCOL.md`` —
+the factory keeps every older dialect servable.
+"""
+
+from __future__ import annotations
+
+from ._v0 import ProtocolV0
+from .framing import (
+    FRAME_DRAIN,
+    FRAME_DRAINED,
+    FRAME_METRICS,
+    FRAME_METRICS_REQ,
+)
+
+__all__ = ["ProtocolLatest"]
+
+
+class ProtocolLatest(ProtocolV0):
+    """Wire dialect of protocol version 1 (see module docstring)."""
+
+    version = 1
+
+    #: summaries are delivered as envelopes complete; clients correlate
+    #: by channel instead of position.
+    ordered_summaries = False
+
+    frame_types = ProtocolV0.frame_types | frozenset(
+        {FRAME_METRICS_REQ, FRAME_METRICS, FRAME_DRAIN, FRAME_DRAINED}
+    )

@@ -1,0 +1,98 @@
+"""Protocol version 0: the minimal submit/summary wire dialect.
+
+Versioned protocol classes follow the exploration-tool pattern the
+ROADMAP points at: each version is a class describing exactly what is
+legal on the wire after that version is negotiated, later versions
+subclass earlier ones, and :mod:`repro.service.net._factory` maps a
+negotiated number to its class.  Version 0 is deliberately small — the
+subset every future server must keep serving:
+
+* data frames: ``SUBMIT`` (client) and ``SUMMARY`` (server), payloads are
+  ``u32 channel`` + one `RENV` columnar envelope;
+* terminal frames: ``ERROR`` and ``GOODBYE``;
+* **ordered summaries**: the server delivers SUMMARY frames in submit
+  (channel) order, because a v0 client may consume them positionally.
+
+Metrics, drain barriers, and out-of-order summary delivery are version-1
+features (:mod:`repro.service.net._latest`); a v0 session that sends
+those frame types gets a typed ``unsupported-frame`` error.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ...core.engine import RunRequest, RunSummary
+from ..transport import (
+    decode_requests,
+    decode_summaries,
+    encode_requests,
+    encode_summaries,
+)
+from .framing import (
+    FRAME_ERROR,
+    FRAME_GOODBYE,
+    FRAME_SUBMIT,
+    FRAME_SUMMARY,
+    Frame,
+    pack_channel,
+    unpack_channel,
+)
+
+__all__ = ["ProtocolV0"]
+
+
+class ProtocolV0:
+    """Wire dialect of protocol version 0 (see module docstring)."""
+
+    #: the number a NEGOTIATE frame selects to speak this dialect.
+    version = 0
+
+    #: v0 clients may consume SUMMARY frames positionally, so the server
+    #: must emit them in submit order for sessions on this version.
+    ordered_summaries = True
+
+    #: frame types legal on a session after this version is negotiated
+    #: (handshake frames are version-independent and excluded).
+    frame_types = frozenset(
+        {FRAME_SUBMIT, FRAME_SUMMARY, FRAME_ERROR, FRAME_GOODBYE}
+    )
+
+    @classmethod
+    def supports(cls, frame_type: int) -> bool:
+        """Whether ``frame_type`` is legal on a session of this version."""
+        return frame_type in cls.frame_types
+
+    # -- data-plane codec ----------------------------------------------------
+
+    @staticmethod
+    def encode_submit(channel: int, requests: Sequence[RunRequest]) -> Frame:
+        """A SUBMIT frame: channel prefix + columnar request envelope."""
+        return Frame(FRAME_SUBMIT, pack_channel(channel, encode_requests(requests)))
+
+    @staticmethod
+    def decode_submit(frame: Frame) -> Tuple[int, List[RunRequest]]:
+        """Split a SUBMIT frame into ``(channel, requests)``."""
+        channel, envelope = unpack_channel(frame.payload)
+        return channel, decode_requests(envelope)
+
+    @staticmethod
+    def encode_summary(channel: int, summaries: Sequence[RunSummary]) -> Frame:
+        """A SUMMARY frame; requests are *not* re-shipped (RENV rule)."""
+        return Frame(
+            FRAME_SUMMARY, pack_channel(channel, encode_summaries(summaries))
+        )
+
+    @staticmethod
+    def summary_channel(frame: Frame) -> int:
+        """The channel a SUMMARY frame answers (for request rejoining)."""
+        channel, _ = unpack_channel(frame.payload)
+        return channel
+
+    @staticmethod
+    def decode_summary(
+        frame: Frame, requests: Sequence[RunRequest]
+    ) -> List[RunSummary]:
+        """Decode a SUMMARY frame, rejoining the submitter-held requests."""
+        _, envelope = unpack_channel(frame.payload)
+        return decode_summaries(envelope, requests)

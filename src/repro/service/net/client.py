@@ -1,0 +1,519 @@
+"""Client library of the network service: ``Client`` and ``MockClient``.
+
+Two implementations share one :class:`CommonClient` contract, mirroring
+the exploration-tool pattern the ROADMAP points at:
+
+* :class:`Client` — a blocking TCP client: real sockets, real frames,
+  real version negotiation.  What applications and the CLI use.
+* :class:`MockClient` — an in-memory stand-in with the same surface
+  that executes requests in-process.  What tests use when they want the
+  client programming model without a server, and what the digest-parity
+  differential compares the wire path against.
+
+The shared contract is deliberately small — ``connect``, ``submit``,
+``collect``, ``run``, ``drain``, ``metrics``, ``close`` — and
+channel-oriented: ``submit`` ships one `RENV` envelope of requests and
+returns its channel id, ``collect`` blocks for that channel's summaries.
+Summaries never re-ship requests on the wire; the client rejoins them
+from the envelope it submitted (the same rule the in-process transport
+enforces).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Type
+
+from ...core.engine import RunRequest, RunSummary
+from ..batch import execute_request
+from ._factory import (
+    LATEST,
+    SUPPORTED_VERSIONS,
+    choose_version,
+    protocol_for_version,
+)
+from ._v0 import ProtocolV0
+from .framing import (
+    FRAME_ACCEPT,
+    FRAME_DRAIN,
+    FRAME_DRAINED,
+    FRAME_ERROR,
+    FRAME_GOODBYE,
+    FRAME_HELLO,
+    FRAME_METRICS,
+    FRAME_METRICS_REQ,
+    FRAME_NEGOTIATE,
+    FRAME_SUMMARY,
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameDecoder,
+    HandshakeError,
+    NetError,
+    NetTimeout,
+    ServerError,
+    SessionClosed,
+    UnsupportedFrame,
+    control_payload,
+    encode_frame,
+    parse_control,
+)
+
+__all__ = ["CommonClient", "Client", "MockClient"]
+
+#: default cap on requests per SUBMIT envelope in :meth:`CommonClient.run`.
+DEFAULT_CHUNK = 32
+
+
+def _int_field(doc: Dict[str, object], key: str) -> int:
+    """An integer field of a control document; typed error if absent."""
+    value = doc.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise HandshakeError(f"expected integer {key!r} in {doc!r}")
+    return value
+
+
+class CommonClient:
+    """The contract both clients implement (see module docstring).
+
+    Subclasses provide :meth:`connect`, :meth:`submit`, :meth:`collect`,
+    :meth:`drain`, :meth:`metrics` and :meth:`close`; this base supplies
+    the session bookkeeping, the chunking/windowing :meth:`run` loop,
+    and context-manager plumbing (``with Client(...) as c:`` connects
+    and closes automatically).
+    """
+
+    def __init__(self) -> None:
+        self._protocol: Optional[Type[ProtocolV0]] = None
+        self._session: Optional[int] = None
+        self._quota: Optional[int] = None
+        self._server_info: Dict[str, object] = {}
+        self._requests: Dict[int, List[RunRequest]] = {}
+        self._next_channel = 1
+
+    # -- session state -------------------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        """Whether a session has been negotiated and not yet closed."""
+        return self._protocol is not None
+
+    @property
+    def protocol_version(self) -> int:
+        """The negotiated protocol version of this session."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        return int(self._protocol.version)
+
+    @property
+    def session_id(self) -> int:
+        """The server-assigned session id of this connection."""
+        if self._session is None:
+            raise SessionClosed("client is not connected")
+        return self._session
+
+    @property
+    def session_quota(self) -> int:
+        """Max outstanding requests the server allows this session."""
+        if self._quota is None:
+            raise SessionClosed("client is not connected")
+        return self._quota
+
+    @property
+    def server_info(self) -> Dict[str, object]:
+        """The server's HELLO document (name, versions, limits)."""
+        return dict(self._server_info)
+
+    # -- contract ------------------------------------------------------------
+
+    def connect(self) -> "CommonClient":
+        """Establish the session (handshake + version negotiation)."""
+        raise NotImplementedError
+
+    def submit(self, requests: Sequence[RunRequest]) -> int:
+        """Ship one envelope of requests; returns its channel id."""
+        raise NotImplementedError
+
+    def collect(self, channel: int) -> List[RunSummary]:
+        """Block until ``channel``'s summaries arrive; return them."""
+        raise NotImplementedError
+
+    def drain(self) -> int:
+        """Barrier: return once every submitted request has resolved."""
+        raise NotImplementedError
+
+    def metrics(self) -> Dict[str, object]:
+        """Sample the server's live metrics rollup."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """End the session (idempotent)."""
+        raise NotImplementedError
+
+    # -- convenience ---------------------------------------------------------
+
+    def run(
+        self, requests: Sequence[RunRequest], chunk: int = DEFAULT_CHUNK
+    ) -> List[RunSummary]:
+        """Execute ``requests`` remotely; summaries in request order.
+
+        Splits into envelopes of at most ``chunk`` requests and keeps
+        several envelopes in flight, windowed so the session's
+        outstanding total never exceeds the server's advertised quota —
+        a client using ``run`` cannot trip ``quota-exceeded``.
+        """
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if not requests:
+            return []
+        quota = self._quota if self._quota is not None else len(requests)
+        chunk = min(chunk, quota)
+        batches = [
+            list(requests[i:i + chunk])
+            for i in range(0, len(requests), chunk)
+        ]
+        collected: Dict[int, List[RunSummary]] = {}
+        window: List[int] = []  # submitted, uncollected channels, in order
+        inflight = 0
+        order: List[int] = []
+        for batch in batches:
+            while window and inflight + len(batch) > quota:
+                oldest = window.pop(0)
+                collected[oldest] = self.collect(oldest)
+                inflight -= len(collected[oldest])
+            ch = self.submit(batch)
+            order.append(ch)
+            window.append(ch)
+            inflight += len(batch)
+        for ch in window:
+            collected[ch] = self.collect(ch)
+        out: List[RunSummary] = []
+        for ch in order:
+            out.extend(collected[ch])
+        return out
+
+    def _register(self, requests: Sequence[RunRequest]) -> int:
+        """Allocate a channel and remember its requests for rejoining."""
+        channel = self._next_channel
+        self._next_channel += 1
+        self._requests[channel] = list(requests)
+        return channel
+
+    def __enter__(self) -> "CommonClient":
+        if not self.connected:
+            self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Client(CommonClient):
+    """Blocking TCP client of a :class:`~repro.service.net.server.NetServer`.
+
+    ``protocol`` pins the session to a specific version (``0`` forces
+    the v0 dialect — how the downgrade test drives a v0 client against a
+    latest server); ``None`` negotiates the highest mutual version.
+    ``timeout`` bounds every socket operation: a dead or wedged server
+    surfaces as a typed :class:`NetTimeout`, never a hang.
+
+    ``bytes_sent`` / ``bytes_received`` count raw wire bytes, which is
+    what the E19 bench reports as per-request wire cost.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        protocol: Optional[int] = None,
+        timeout: float = 30.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        super().__init__()
+        self.host = host
+        self.port = port
+        self.timeout = float(timeout)
+        self.max_frame = int(max_frame)
+        self._requested_version = protocol
+        self._sock: Optional[socket.socket] = None
+        self._decoder = FrameDecoder(self.max_frame)
+        #: SUMMARY frames that arrived while collecting another channel
+        #: (protocol v1 delivers out of order).
+        self._parked: Dict[int, Frame] = {}
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- wire plumbing -------------------------------------------------------
+
+    def _send_frame(self, frame: Frame) -> None:
+        if self._sock is None:
+            raise SessionClosed("client is not connected")
+        data = encode_frame(frame, self.max_frame)
+        try:
+            self._sock.sendall(data)
+        except socket.timeout:
+            raise NetTimeout(
+                f"send timed out after {self.timeout}s"
+            ) from None
+        self.bytes_sent += len(data)
+
+    def _recv_frame(self) -> Frame:
+        """The next frame off the socket; typed errors, never hangs."""
+        if self._sock is None:
+            raise SessionClosed("client is not connected")
+        while True:
+            frame = self._decoder.next_frame()
+            if frame is not None:
+                return frame
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                raise NetTimeout(
+                    f"no frame within {self.timeout}s"
+                ) from None
+            if not data:
+                self._decoder.eof()  # raises TruncatedFrame mid-frame
+                raise SessionClosed(
+                    "server closed the connection while frames were "
+                    "still expected"
+                )
+            self.bytes_received += len(data)
+            self._decoder.feed(data)
+
+    def _control_reply(self, frame: Frame) -> Dict[str, object]:
+        """Parse a control frame, promoting ERROR/GOODBYE to exceptions."""
+        if frame.type == FRAME_ERROR:
+            doc = parse_control(frame.payload)
+            raise ServerError(
+                str(doc.get("code", "net-error")),
+                str(doc.get("message", "")),
+                doc.get("channel") if isinstance(doc.get("channel"), int) else None,
+            )
+        if frame.type == FRAME_GOODBYE:
+            doc = parse_control(frame.payload)
+            raise SessionClosed(
+                f"server said goodbye: {doc.get('reason', 'unspecified')}"
+            )
+        return parse_control(frame.payload)
+
+    # -- contract ------------------------------------------------------------
+
+    def connect(self) -> "Client":
+        """Dial, handshake, negotiate; returns self once accepted."""
+        if self._sock is not None:
+            raise RuntimeError("client already connected")
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._sock.settimeout(self.timeout)
+        try:
+            hello = self._recv_frame()
+            if hello.type != FRAME_HELLO:
+                raise HandshakeError(
+                    f"expected HELLO, got {hello.name}"
+                )
+            info = self._control_reply(hello)
+            versions = info.get("versions")
+            if not isinstance(versions, list):
+                raise HandshakeError(
+                    f"HELLO carries no version list: {info!r}"
+                )
+            version = choose_version(
+                [v for v in versions if isinstance(v, int)],
+                self._requested_version,
+            )
+            self._send_frame(
+                Frame(FRAME_NEGOTIATE, control_payload({"version": version}))
+            )
+            accept = self._recv_frame()
+            if accept.type != FRAME_ACCEPT:
+                doc = self._control_reply(accept)  # raises on ERROR/GOODBYE
+                raise HandshakeError(
+                    f"expected ACCEPT, got {accept.name}: {doc!r}"
+                )
+            doc = self._control_reply(accept)
+            self._protocol = protocol_for_version(_int_field(doc, "version"))
+            self._session = _int_field(doc, "session")
+            self._quota = _int_field(doc, "quota")
+            self._server_info = info
+        except NetError:
+            self._sock.close()
+            self._sock = None
+            raise
+        return self
+
+    def submit(self, requests: Sequence[RunRequest]) -> int:
+        """Ship one SUBMIT envelope; returns its channel id."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        channel = self._register(requests)
+        self._send_frame(self._protocol.encode_submit(channel, requests))
+        return channel
+
+    def collect(self, channel: int) -> List[RunSummary]:
+        """Block for ``channel``'s SUMMARY frame; rejoin and return it.
+
+        SUMMARY frames for *other* channels that arrive first are parked
+        and handed out when their channel is collected — protocol v1
+        delivers summaries in completion order.
+        """
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        proto = self._protocol
+        requests = self._requests.get(channel)
+        if requests is None:
+            raise NetError(f"channel {channel} was never submitted")
+        while channel not in self._parked:
+            frame = self._recv_frame()
+            if frame.type == FRAME_SUMMARY:
+                self._parked[proto.summary_channel(frame)] = frame
+                continue
+            self._control_reply(frame)  # raises on ERROR/GOODBYE
+            raise NetError(
+                f"unexpected {frame.name} frame while collecting "
+                f"channel {channel}"
+            )
+        frame = self._parked.pop(channel)
+        del self._requests[channel]
+        return proto.decode_summary(frame, requests)
+
+    def drain(self) -> int:
+        """In-band barrier (protocol v1+); returns the flush count."""
+        self._require(FRAME_DRAIN, "DRAIN")
+        self._send_frame(Frame(FRAME_DRAIN, control_payload({})))
+        while True:
+            frame = self._recv_frame()
+            if frame.type == FRAME_SUMMARY and self._protocol is not None:
+                self._parked[self._protocol.summary_channel(frame)] = frame
+                continue
+            if frame.type == FRAME_DRAINED:
+                doc = self._control_reply(frame)
+                flushed = doc.get("flushed", 0)
+                return int(flushed) if isinstance(flushed, int) else 0
+            self._control_reply(frame)  # raises on ERROR/GOODBYE
+            raise NetError(f"unexpected {frame.name} frame during drain")
+
+    def metrics(self) -> Dict[str, object]:
+        """Sample the server's metrics rollup (protocol v1+)."""
+        self._require(FRAME_METRICS_REQ, "METRICS_REQ")
+        self._send_frame(Frame(FRAME_METRICS_REQ, control_payload({})))
+        while True:
+            frame = self._recv_frame()
+            if frame.type == FRAME_SUMMARY and self._protocol is not None:
+                self._parked[self._protocol.summary_channel(frame)] = frame
+                continue
+            if frame.type == FRAME_METRICS:
+                return self._control_reply(frame)
+            self._control_reply(frame)  # raises on ERROR/GOODBYE
+            raise NetError(
+                f"unexpected {frame.name} frame awaiting metrics"
+            )
+
+    def close(self) -> None:
+        """Say GOODBYE and close the socket (idempotent)."""
+        if self._sock is None:
+            return
+        if self._protocol is not None:
+            try:
+                self._send_frame(
+                    Frame(FRAME_GOODBYE, control_payload({"reason": "done"}))
+                )
+            except (NetError, OSError):
+                pass  # the socket may already be gone; close anyway
+        self._sock.close()
+        self._sock = None
+        self._protocol = None
+
+    def _require(self, frame_type: int, name: str) -> None:
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        if not self._protocol.supports(frame_type):
+            raise UnsupportedFrame(
+                f"{name} frames need protocol >= 1; this session "
+                f"negotiated version {self._protocol.version}"
+            )
+
+
+class MockClient(CommonClient):
+    """In-memory client with the :class:`Client` surface, no server.
+
+    ``submit``/``collect`` execute requests in-process through the same
+    :func:`~repro.service.batch.execute_request` worker function the
+    gateway dispatches to, stamping unset engines with ``engine`` the
+    way a server-side gateway would.  Tests get the client programming
+    model with zero sockets; the digest-parity differential uses it as
+    the middle rung between "remote Client" and "raw gateway".
+    """
+
+    #: the synthetic server name reported in :attr:`server_info`.
+    SERVER = "repro.service.net.mock"
+
+    def __init__(self, engine: str = "fast") -> None:
+        super().__init__()
+        self.engine = engine
+        self._results: Dict[int, List[RunSummary]] = {}
+        self._executed = 0
+
+    def connect(self) -> "MockClient":
+        """Fabricate a session (always protocol latest, session 1)."""
+        self._protocol = LATEST
+        self._session = 1
+        self._quota = 1 << 30  # in-memory: effectively unbounded
+        self._server_info = {
+            "server": self.SERVER,
+            "versions": list(SUPPORTED_VERSIONS),
+            "engine": self.engine,
+        }
+        return self
+
+    def submit(self, requests: Sequence[RunRequest]) -> int:
+        """Execute one envelope eagerly; returns its channel id."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        channel = self._register(requests)
+        stamped = [
+            r if r.engine is not None else replace(r, engine=self.engine)
+            for r in requests
+        ]
+        self._results[channel] = [execute_request(r) for r in stamped]
+        self._executed += len(stamped)
+        return channel
+
+    def collect(self, channel: int) -> List[RunSummary]:
+        """Return the summaries of an earlier :meth:`submit`."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        try:
+            summaries = self._results.pop(channel)
+        except KeyError:
+            raise NetError(
+                f"channel {channel} was never submitted"
+            ) from None
+        del self._requests[channel]
+        return summaries
+
+    def drain(self) -> int:
+        """No-op barrier: mock execution is synchronous."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        return 0
+
+    def metrics(self) -> Dict[str, object]:
+        """A synthetic metrics document mirroring the server's shape."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        return {
+            "gateway": {"offered": self._executed, "completed": self._executed},
+            "engine": self.engine,
+            "sessions": 1,
+            "session": self._session,
+            "inflight": 0,
+            "quota": self._quota,
+            "draining": False,
+        }
+
+    def close(self) -> None:
+        """Drop the fabricated session (idempotent)."""
+        self._protocol = None
+        self._results.clear()
+        self._requests.clear()

@@ -187,6 +187,40 @@ def test_eviction_order_is_insertion_not_recency():
     assert cache.evictions == 1
 
 
+def test_concurrent_eviction_never_raises():
+    """Regression (found by the network service's 256-instance
+    differential): thread-backend workers share the process plan cache,
+    and two threads evicting at once used to race ``pop(next(iter))`` to
+    the same oldest key — the loser crashed its run with a bare KeyError
+    deep inside an algorithm's plan computation.  Eviction must treat
+    "someone else already evicted it" as success.
+    """
+    cache = PlanCache(maxsize=8)
+    errors = []
+    barrier = threading.Barrier(4)
+
+    def hammer(worker):
+        try:
+            barrier.wait()
+            for i in range(2000):
+                cache.compute((worker, i), lambda: i)
+        except BaseException as exc:  # pragma: no cover - the regression
+            errors.append(exc)
+            raise
+
+    threads = [
+        threading.Thread(target=hammer, args=(w,)) for w in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors
+    # concurrent insert/evict pairs can overshoot transiently, but the
+    # bound stays within one entry per racing thread
+    assert len(cache) <= 8 + 4
+
+
 # -- snapshots / warmup ------------------------------------------------------
 
 
