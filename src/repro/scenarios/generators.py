@@ -518,6 +518,42 @@ def arrival_times(
     )
 
 
+def flap_times(
+    period_s: float,
+    duration_s: float,
+    jitter_frac: float = 0.0,
+    seed: int = 0,
+) -> List[float]:
+    """Connection-flap instants for a reconnect soak: one per
+    ``period_s`` across ``duration_s`` seconds.
+
+    ``jitter_frac`` spreads each flap uniformly within
+    ``[-jitter_frac, +jitter_frac] * period_s`` of its slot, so flaps
+    decorrelate from any periodic structure in the offered load.
+    Deterministic in ``(period_s, duration_s, jitter_frac, seed)``;
+    times are strictly increasing and strictly inside
+    ``(0, duration_s)``.
+    """
+    if period_s <= 0:
+        raise ValueError(f"flap period must be > 0, got {period_s}")
+    if duration_s < 0:
+        raise ValueError(f"duration must be >= 0, got {duration_s}")
+    if not 0.0 <= jitter_frac <= 1.0:
+        raise ValueError(
+            f"jitter_frac must be in [0, 1], got {jitter_frac}"
+        )
+    rng = random.Random(seed)
+    out: List[float] = []
+    t = period_s
+    while t < duration_s:
+        jittered = t + (2.0 * rng.random() - 1.0) * jitter_frac * period_s
+        jittered = min(max(jittered, 1e-9), duration_s - 1e-9)
+        if not out or jittered > out[-1]:
+            out.append(jittered)
+        t += period_s
+    return out
+
+
 def default_scenarios(quick: bool = True) -> List[Scenario]:
     """The standard sweep: every family, square and non-square sizes.
 

@@ -10,12 +10,19 @@ per-request pickle on the wire.  Layers, bottom-up:
 * :mod:`~repro.service.net.framing` — byte-level frames, the
   incremental decoder and the typed error vocabulary;
 * :mod:`~repro.service.net._v0` / :mod:`~repro.service.net._latest` /
-  :mod:`~repro.service.net._factory` — versioned protocol classes and
-  the negotiation registry;
+  :mod:`~repro.service.net._v2` / :mod:`~repro.service.net._factory` —
+  versioned protocol classes and the negotiation registry;
 * :mod:`~repro.service.net.server` — the asyncio server: handshake,
-  session ids, per-session quotas, graceful drain;
+  session ids, per-session quotas, graceful drain, and (v2) the
+  per-lineage idempotency cache plus overload admission control;
 * :mod:`~repro.service.net.client` — the blocking :class:`Client` and
-  in-memory :class:`MockClient` behind one :class:`CommonClient` base.
+  in-memory :class:`MockClient` behind one :class:`CommonClient` base;
+* :mod:`~repro.service.net.resilience` — :class:`ResilientClient`:
+  reconnect with backoff and a circuit breaker, idempotent resume,
+  ``retry-after`` compliance;
+* :mod:`~repro.service.net.faultproxy` — a wire-level fault-injection
+  TCP proxy (latency, jitter, rate caps, mid-frame disconnects,
+  blackholes, corruption) for testing all of the above.
 
 The wire format's normative specification is ``docs/PROTOCOL.md``;
 ``tests/test_net_protocol_doc.py`` pins the two together.
@@ -25,6 +32,9 @@ Command line::
     python -m repro.service.net serve --port 7707 --workers 4
     python -m repro.service.net client --port 7707 --batch 64
     python -m repro.service.net selfcheck --batch 256
+    python -m repro.service.net selfcheck --resilient --toxic latency:5 \
+        --toxic disconnect:65536
+    python -m repro.service.net soak --duration 60 --flap-every 3
     python -m repro.service.net bench --batch 64
 
 See DESIGN.md section 12.
@@ -40,6 +50,7 @@ from ._factory import (
 from .framing import (
     MAX_FRAME_BYTES,
     BadMagic,
+    CorruptFrame,
     Frame,
     FrameDecoder,
     HandshakeError,
@@ -58,6 +69,14 @@ from .framing import (
 #: ``sys.modules`` just because someone imported the frame codec.
 _CLIENT_EXPORTS = ("Client", "CommonClient", "MockClient")
 _SERVER_EXPORTS = ("NetServer", "ServerThread")
+_RESILIENCE_EXPORTS = (
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "ResilientClient",
+    "RetriesExhausted",
+)
+_FAULTPROXY_EXPORTS = ("FaultProxy", "ProxyThread", "Toxic", "parse_toxic")
 
 
 def __getattr__(name: str):
@@ -69,6 +88,14 @@ def __getattr__(name: str):
         from . import server
 
         return getattr(server, name)
+    if name in _RESILIENCE_EXPORTS:
+        from . import resilience
+
+        return getattr(resilience, name)
+    if name in _FAULTPROXY_EXPORTS:
+        from . import faultproxy
+
+        return getattr(faultproxy, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -85,6 +112,7 @@ __all__ = [
     "BadMagic",
     "OversizedFrame",
     "TruncatedFrame",
+    "CorruptFrame",
     "HandshakeError",
     "UnsupportedFrame",
     "ServerError",
@@ -92,4 +120,6 @@ __all__ = [
     "NetTimeout",
     *_CLIENT_EXPORTS,
     *_SERVER_EXPORTS,
+    *_RESILIENCE_EXPORTS,
+    *_FAULTPROXY_EXPORTS,
 ]

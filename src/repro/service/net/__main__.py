@@ -1,16 +1,25 @@
 """Network service CLI: ``python -m repro.service.net <command>``.
 
-Four subcommands::
+Five subcommands::
 
     serve      run a NetServer in the foreground (Ctrl-C to stop)
     client     connect to a running server, execute a mixed batch
     selfcheck  loopback server + client in one process; digests must
                match the sequential baseline (CI smoke mode)
+    soak       reconnect soak: loopback server behind a flapping fault
+               proxy, resilient client under poisson load; gates on
+               digest parity, zero stranded futures, zero duplicate
+               executions, bounded retries
     bench      loopback round-trip latency + per-request wire bytes
 
 ``client --selfcheck`` re-executes the batch on the in-process
 sequential baseline and requires byte-identical digests — the same
 gate CI's ``net-smoke`` job runs against a real two-process serve.
+``client``/``selfcheck`` accept ``--resilient`` (use the reconnecting
+:class:`~repro.service.net.resilience.ResilientClient`) and repeatable
+``--toxic SPEC`` flags, which interpose the wire-level fault proxy —
+CI's ``net-fault-smoke`` job is ``selfcheck --resilient --toxic ...``
+with the same digest gate plus a bounded-retries gate.
 """
 
 from __future__ import annotations
@@ -18,14 +27,18 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import math
 import sys
+import threading
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..batch import BatchService, requests_from_scenarios, summaries_digest
 from ..transport import TRANSPORTS
-from .client import Client
+from .client import Client, CommonClient
+from .faultproxy import ProxyThread
 from .framing import MAX_FRAME_BYTES
+from .resilience import BackoffPolicy, ResilientClient
 from .server import DEFAULT_SESSION_QUOTA, NetServer, ServerThread
 
 
@@ -101,6 +114,28 @@ def _add_batch_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resilient", action="store_true",
+        help="use the reconnecting ResilientClient (protocol v2)",
+    )
+    parser.add_argument(
+        "--toxic", action="append", default=[], metavar="SPEC",
+        help=(
+            "interpose the fault proxy with this toxic (repeatable): "
+            "latency:MS, jitter:MS, rate:KBPS, disconnect:BYTES, "
+            "blackhole[:MS], corrupt:PROB, each optionally @up/@down"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help=(
+            "fail if the resilient client resubmitted more than N times "
+            "(default: 8 per envelope, the backoff attempt cap)"
+        ),
+    )
+
+
 def _server_kwargs(args: argparse.Namespace) -> dict:
     return dict(
         host=args.host,
@@ -152,19 +187,52 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_client(
+    args: argparse.Namespace, host: str, port: int
+) -> CommonClient:
+    if getattr(args, "resilient", False):
+        return ResilientClient(
+            host, port, timeout=args.timeout, seed=args.seed
+        )
+    return Client(host, port, protocol=args.protocol, timeout=args.timeout)
+
+
+def _retry_bound(args: argparse.Namespace, envelopes: int) -> int:
+    if args.max_retries is not None:
+        return int(args.max_retries)
+    return BackoffPolicy().max_attempts * max(1, envelopes)
+
+
 def _run_client(args: argparse.Namespace, host: str, port: int) -> int:
     requests = _batch_requests(args)
-    with Client(
-        host, port, protocol=args.protocol, timeout=args.timeout
-    ) as client:
-        t0 = time.perf_counter()
-        summaries = client.run(requests, chunk=args.chunk)
-        wall = time.perf_counter() - t0
-        info = client.server_info
-        version = client.protocol_version
-        sent, received = client.bytes_sent, client.bytes_received
+    toxics = list(getattr(args, "toxic", []))
+    proxy: Optional[ProxyThread] = None
+    if toxics:
+        proxy = ProxyThread(host, port, toxics=toxics, seed=args.seed)
+        proxy.start()
+        host, port = proxy.host, proxy.port
+    stats: Dict[str, int] = {}
+    try:
+        with _make_client(args, host, port) as client:
+            t0 = time.perf_counter()
+            summaries = client.run(requests, chunk=args.chunk)
+            wall = time.perf_counter() - t0
+            info = client.server_info
+            version = client.protocol_version
+            cache_hits = client.cache_hits
+            sent = getattr(client, "bytes_sent", 0)
+            received = getattr(client, "bytes_received", 0)
+            if isinstance(client, ResilientClient):
+                stats = client.stats()
+    finally:
+        if proxy is not None:
+            proxy.close()
     digest = summaries_digest(summaries)
     ok = all(s.ok for s in summaries)
+    envelopes = math.ceil(len(requests) / max(1, args.chunk))
+    retries_ok = (
+        not stats or stats["resubmits"] <= _retry_bound(args, envelopes)
+    )
     doc = {
         "server": info.get("server"),
         "protocol": version,
@@ -174,7 +242,13 @@ def _run_client(args: argparse.Namespace, host: str, port: int) -> int:
         "digest": digest,
         "bytes_sent": sent,
         "bytes_received": received,
+        "cache_hits": cache_hits,
     }
+    if toxics:
+        doc["toxics"] = toxics
+    if stats:
+        doc["resilience"] = dict(stats)
+        doc["retries_bounded"] = retries_ok
     selfcheck_ok = True
     if args.selfcheck:
         baseline = BatchService(workers=0, engine=args.engine).run_batch(
@@ -196,6 +270,13 @@ def _run_client(args: argparse.Namespace, host: str, port: int) -> int:
             f"wire: {sent} bytes sent, {received} received "
             f"({(sent + received) / max(1, len(requests)):.0f} B/request)"
         )
+        if stats:
+            print(
+                f"resilience: {stats['reconnects']} reconnects, "
+                f"{stats['resubmits']} resubmits, "
+                f"{stats['retry_afters']} retry-afters, "
+                f"{stats['cache_hits']} cache hits"
+            )
         if args.selfcheck:
             status = "match" if selfcheck_ok else "MISMATCH"
             print(f"selfcheck: sequential digest -> {status}")
@@ -210,6 +291,13 @@ def _run_client(args: argparse.Namespace, host: str, port: int) -> int:
             file=sys.stderr,
         )
         return 1
+    if not retries_ok:
+        print(
+            f"retry gate FAILED: {stats['resubmits']} resubmits exceeds "
+            f"the bound of {_retry_bound(args, envelopes)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -221,6 +309,142 @@ def _cmd_selfcheck(args: argparse.Namespace) -> int:
     args.selfcheck = True
     with ServerThread(**_server_kwargs(args)) as st:
         return _run_client(args, st.host, st.port)
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    """Reconnect soak: flapping proxy, poisson load, four gates.
+
+    The proxy drops every live connection every ``--flap-every``
+    seconds (jittered) while a :class:`ResilientClient` pushes a
+    poisson-arrival workload through it.  Gates:
+
+    1. every submitted envelope is collected (zero stranded futures);
+    2. the digest matches the sequential baseline byte-for-byte;
+    3. the gateway executed each request exactly once (its ``offered``
+       counter equals the unique request count — resubmits after flaps
+       were answered by the idempotency cache, not re-executed);
+    4. retries stayed bounded (resubmits <= the backoff attempt cap
+       per envelope).
+    """
+    from ...scenarios.generators import (
+        flap_times,
+        mixed_batch,
+        poisson_arrivals,
+    )
+
+    count = max(1, int(args.rate * args.duration))
+    scenarios = mixed_batch(count, mix=args.scenario_mix, seed0=args.seed)
+    requests = requests_from_scenarios(scenarios, engine=args.engine)
+    arrivals = poisson_arrivals(args.rate, count, seed=args.seed)
+    flaps = flap_times(
+        args.flap_every, args.duration, jitter_frac=0.2, seed=args.seed
+    )
+
+    with ServerThread(**_server_kwargs(args)) as st:
+        with ProxyThread(
+            st.host, st.port, toxics=args.toxic, seed=args.seed
+        ) as proxy:
+            backoff = BackoffPolicy(
+                base_s=0.05,
+                max_s=1.0,
+                deadline_s=max(60.0, 3.0 * args.duration),
+            )
+            client = ResilientClient(
+                proxy.host,
+                proxy.port,
+                timeout=args.timeout,
+                backoff=backoff,
+                seed=args.seed,
+            )
+            client.connect()
+            stop = threading.Event()
+            t0 = time.perf_counter()
+
+            def flapper() -> None:
+                for at in flaps:
+                    delay = at - (time.perf_counter() - t0)
+                    if delay > 0 and stop.wait(delay):
+                        return
+                    proxy.drop_connections()
+
+            flap_thread = threading.Thread(target=flapper, daemon=True)
+            flap_thread.start()
+            window = max(1, client.session_quota // 2)
+            order: List[int] = []
+            inflight: List[int] = []
+            collected: Dict[int, List] = {}
+            try:
+                for request, at in zip(requests, arrivals):
+                    delay = at - (time.perf_counter() - t0)
+                    if delay > 0:
+                        time.sleep(delay)
+                    while len(inflight) >= window:
+                        oldest = inflight.pop(0)
+                        collected[oldest] = client.collect(oldest)
+                    channel = client.submit([request])
+                    order.append(channel)
+                    inflight.append(channel)
+                for channel in inflight:
+                    collected[channel] = client.collect(channel)
+            finally:
+                stop.set()
+                flap_thread.join(timeout=10.0)
+            stranded = client.pending
+            metrics = client.metrics()
+            stats = client.stats()
+            client.close()
+            proxy_stats = proxy.stats()
+
+    summaries = [s for channel in order for s in collected[channel]]
+    digest = summaries_digest(summaries)
+    baseline = BatchService(workers=0, engine=args.engine).run_batch(requests)
+    gateway = metrics.get("gateway", {})
+    offered = gateway.get("offered") if isinstance(gateway, dict) else None
+    gates = {
+        "all_collected": len(summaries) == count and stranded == 0,
+        "digest_match": baseline.batch_digest() == digest,
+        "no_duplicate_execution": offered == count,
+        "bounded_retries": (
+            stats["resubmits"] <= _retry_bound(args, count)
+        ),
+    }
+    doc = {
+        "requests": count,
+        "duration_s": args.duration,
+        "rate": args.rate,
+        "flaps": len(flaps),
+        "stranded": stranded,
+        "gateway_offered": offered,
+        "digest": digest,
+        "baseline_digest": baseline.batch_digest(),
+        "resilience": dict(stats),
+        "proxy": dict(proxy_stats),
+        "idempotency": metrics.get("idempotency"),
+        "gates": gates,
+        "ok": all(gates.values()),
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(
+            f"soak: {count} requests over {args.duration:.0f}s, "
+            f"{len(flaps)} connection flaps -> "
+            f"{stats['reconnects']} reconnects, "
+            f"{stats['resubmits']} resubmits, "
+            f"{stats['cache_hits']} cache hits, {stranded} stranded"
+        )
+        print(
+            f"executions: gateway offered {offered} for {count} unique "
+            f"requests; digest {digest} "
+            f"({'match' if gates['digest_match'] else 'MISMATCH'})"
+        )
+        for gate, passed in gates.items():
+            print(f"gate {gate}: {'pass' if passed else 'FAIL'}")
+    if not all(gates.values()):
+        failed = [g for g, p in gates.items() if not p]
+        print(f"soak gates FAILED: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -284,6 +508,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     p_client.add_argument("--json", action="store_true")
     _add_batch_args(p_client)
+    _add_fault_args(p_client)
     p_client.set_defaults(func=_cmd_client)
 
     p_self = sub.add_parser(
@@ -295,10 +520,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_self.add_argument("--json", action="store_true")
     _add_gateway_args(p_self)
     _add_batch_args(p_self)
+    _add_fault_args(p_self)
     from ...scenarios.generators import REMOTE_SELFCHECK_MIX
 
     # the selfcheck differential defaults to full-taxonomy coverage
     p_self.set_defaults(func=_cmd_selfcheck, scenario_mix=REMOTE_SELFCHECK_MIX)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="reconnect soak: flapping fault proxy + resilient client",
+    )
+    p_soak.add_argument("--host", default="127.0.0.1")
+    p_soak.add_argument("--port", type=int, default=0)
+    p_soak.add_argument("--timeout", type=float, default=30.0)
+    p_soak.add_argument(
+        "--duration", type=float, default=60.0, metavar="S",
+        help="soak length in seconds (default 60)",
+    )
+    p_soak.add_argument(
+        "--rate", type=float, default=4.0, metavar="R",
+        help="poisson arrival rate per second (default 4)",
+    )
+    p_soak.add_argument(
+        "--flap-every", type=float, default=3.0, metavar="S",
+        help="drop every proxied connection this often (default 3s)",
+    )
+    p_soak.add_argument("--json", action="store_true")
+    _add_gateway_args(p_soak)
+    _add_batch_args(p_soak)
+    _add_fault_args(p_soak)
+    p_soak.set_defaults(
+        func=_cmd_soak,
+        scenario_mix=REMOTE_SELFCHECK_MIX,
+        policy="block",
+        resilient=True,
+    )
 
     p_bench = sub.add_parser(
         "bench", help="loopback latency / wire-bytes micro-bench"

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Type
 
-from ._latest import ProtocolLatest
+from ._latest import ProtocolV1
 from ._v0 import ProtocolV0
+from ._v2 import ProtocolV2
 from .framing import HandshakeError
 
 __all__ = [
@@ -26,11 +27,12 @@ __all__ = [
 #: every dialect this build can speak, keyed by version number.
 PROTOCOLS: Dict[int, Type[ProtocolV0]] = {
     ProtocolV0.version: ProtocolV0,
-    ProtocolLatest.version: ProtocolLatest,
+    ProtocolV1.version: ProtocolV1,
+    ProtocolV2.version: ProtocolV2,
 }
 
 #: the newest dialect — what a fresh client asks for by default.
-LATEST: Type[ProtocolV0] = ProtocolLatest
+LATEST: Type[ProtocolV0] = ProtocolV2
 
 #: ascending version numbers, as advertised in the HELLO frame.
 SUPPORTED_VERSIONS = tuple(sorted(PROTOCOLS))

@@ -1,4 +1,4 @@
-"""Protocol version 1 — the latest wire dialect.
+"""Protocol version 1: metrics, drain barriers, unordered summaries.
 
 Subclasses :class:`~repro.service.net._v0.ProtocolV0` and adds the
 operational surface a long-lived service needs:
@@ -14,7 +14,9 @@ operational surface a long-lived service needs:
 
 Adding a version: subclass this, bump ``version``, register it in
 :mod:`repro.service.net._factory`, and extend ``docs/PROTOCOL.md`` —
-the factory keeps every older dialect servable.
+the factory keeps every older dialect servable.  Idempotency keys,
+RESUME, and payload CRCs are version-2 features
+(:mod:`repro.service.net._v2`).
 """
 
 from __future__ import annotations
@@ -27,10 +29,10 @@ from .framing import (
     FRAME_METRICS_REQ,
 )
 
-__all__ = ["ProtocolLatest"]
+__all__ = ["ProtocolV1"]
 
 
-class ProtocolLatest(ProtocolV0):
+class ProtocolV1(ProtocolV0):
     """Wire dialect of protocol version 1 (see module docstring)."""
 
     version = 1

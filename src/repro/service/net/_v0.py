@@ -66,8 +66,15 @@ class ProtocolV0:
     # -- data-plane codec ----------------------------------------------------
 
     @staticmethod
-    def encode_submit(channel: int, requests: Sequence[RunRequest]) -> Frame:
-        """A SUBMIT frame: channel prefix + columnar request envelope."""
+    def encode_submit(
+        channel: int, requests: Sequence[RunRequest], key: str = ""
+    ) -> Frame:
+        """A SUBMIT frame: channel prefix + columnar request envelope.
+
+        ``key`` (an idempotency key) only travels on the wire from
+        protocol v2 on; v0/v1 accept and ignore it so callers can pass
+        it unconditionally.
+        """
         return Frame(FRAME_SUBMIT, pack_channel(channel, encode_requests(requests)))
 
     @staticmethod
@@ -76,12 +83,41 @@ class ProtocolV0:
         channel, envelope = unpack_channel(frame.payload)
         return channel, decode_requests(envelope)
 
+    @classmethod
+    def decode_submit_ex(
+        cls, frame: Frame
+    ) -> Tuple[int, str, List[RunRequest]]:
+        """``(channel, idempotency_key, requests)`` — key is ``""`` pre-v2.
+
+        One uniform call site for the server: versions without a key
+        field report the empty key, which disables result caching.
+        """
+        channel, requests = cls.decode_submit(frame)
+        return channel, "", requests
+
     @staticmethod
-    def encode_summary(channel: int, summaries: Sequence[RunSummary]) -> Frame:
+    def summary_envelope(summaries: Sequence[RunSummary]) -> bytes:
+        """Encode summaries to raw envelope bytes (what the server's
+        idempotency cache stores from protocol v2 on)."""
+        return encode_summaries(summaries)
+
+    @staticmethod
+    def wrap_summary(
+        channel: int, envelope: bytes, cached: bool = False
+    ) -> Frame:
+        """Frame pre-encoded summary-envelope bytes.
+
+        ``cached`` only has a wire representation from v2 on (the
+        FLAG_CACHED bit); earlier dialects write zero flags.
+        """
+        return Frame(FRAME_SUMMARY, pack_channel(channel, envelope))
+
+    @classmethod
+    def encode_summary(
+        cls, channel: int, summaries: Sequence[RunSummary]
+    ) -> Frame:
         """A SUMMARY frame; requests are *not* re-shipped (RENV rule)."""
-        return Frame(
-            FRAME_SUMMARY, pack_channel(channel, encode_summaries(summaries))
-        )
+        return cls.wrap_summary(channel, cls.summary_envelope(summaries))
 
     @staticmethod
     def summary_channel(frame: Frame) -> int:
@@ -96,3 +132,11 @@ class ProtocolV0:
         """Decode a SUMMARY frame, rejoining the submitter-held requests."""
         _, envelope = unpack_channel(frame.payload)
         return decode_summaries(envelope, requests)
+
+    @staticmethod
+    def summary_cached(frame: Frame) -> bool:
+        """Whether a SUMMARY was served from the idempotency cache.
+
+        Pre-v2 dialects have no cache, so the answer is always False.
+        """
+        return False

@@ -1,0 +1,199 @@
+"""Protocol version 2: idempotency keys, RESUME, payload CRCs.
+
+The fault-tolerance dialect.  Three additions over version 1, each
+answering one failure mode the wire can inflict:
+
+* **idempotency keys** — every SUBMIT carries a client-generated key
+  (≤ 255 ASCII bytes) ahead of the request envelope.  The server keeps
+  a bounded per-lineage result cache keyed on it, so a reconnecting
+  client can resubmit an envelope it never saw answered without the
+  requests executing twice.  A cached answer comes back as a SUMMARY
+  frame with the :data:`FLAG_CACHED` flag bit set.
+* **RESUME/RESUMED** — after reconnecting, a client re-attaches to its
+  *lineage* (a client-chosen identity that survives connections) before
+  submitting; RESUMED reports which idempotency keys the server still
+  holds results for.
+* **payload CRCs** — SUBMIT and SUMMARY payloads embed a CRC32 of the
+  `RENV` envelope.  A flipped bit surfaces as a typed
+  :class:`~repro.service.net.framing.CorruptFrame` instead of a decoder
+  crash or — worse — a silently wrong digest.  Corruption is
+  connection-fatal; recovery is the reconnect + keyed-resubmit path.
+
+Wire layouts (little-endian)::
+
+    SUBMIT   u32 channel | u8 keylen | keylen bytes key | u32 crc32 | envelope
+    SUMMARY  u32 channel | u32 crc32 | envelope
+
+where ``crc32`` is ``zlib.crc32(envelope)``.  Control frames (RESUME,
+RESUMED) are canonical JSON like every other control payload.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import List, Sequence, Tuple
+
+from ...core.engine import RunRequest, RunSummary
+from ..transport import decode_requests, decode_summaries, encode_requests
+from ._latest import ProtocolV1
+from .framing import (
+    FRAME_RESUME,
+    FRAME_RESUMED,
+    FRAME_SUBMIT,
+    FRAME_SUMMARY,
+    CorruptFrame,
+    Frame,
+    TruncatedFrame,
+)
+
+__all__ = ["ProtocolV2", "FLAG_CACHED", "MAX_KEY_BYTES"]
+
+#: SUMMARY flag bit: this answer was served from the server's
+#: idempotency cache, not a fresh execution.  The reconnect differential
+#: counts these to assert zero duplicate executions.
+FLAG_CACHED = 0x01
+
+#: idempotency keys are length-prefixed with a u8.
+MAX_KEY_BYTES = 255
+
+_CHANNEL = struct.Struct("<I")
+_KEYLEN = struct.Struct("<B")
+_CRC = struct.Struct("<I")
+
+
+def _check_crc(envelope: bytes, expected: int, frame_name: str) -> None:
+    actual = zlib.crc32(envelope) & 0xFFFFFFFF
+    if actual != expected:
+        raise CorruptFrame(
+            f"{frame_name} envelope CRC mismatch: header says "
+            f"0x{expected:08x}, payload hashes to 0x{actual:08x}"
+        )
+
+
+class ProtocolV2(ProtocolV1):
+    """Wire dialect of protocol version 2 (see module docstring)."""
+
+    version = 2
+
+    frame_types = ProtocolV1.frame_types | frozenset(
+        {FRAME_RESUME, FRAME_RESUMED}
+    )
+
+    # -- data-plane codec ----------------------------------------------------
+
+    @staticmethod
+    def encode_submit(
+        channel: int, requests: Sequence[RunRequest], key: str = ""
+    ) -> Frame:
+        """A keyed SUBMIT frame with an envelope CRC."""
+        key_bytes = key.encode("ascii")
+        if len(key_bytes) > MAX_KEY_BYTES:
+            raise ValueError(
+                f"idempotency key of {len(key_bytes)} bytes exceeds the "
+                f"u8 length prefix (max {MAX_KEY_BYTES})"
+            )
+        envelope = encode_requests(requests)
+        return Frame(
+            FRAME_SUBMIT,
+            _CHANNEL.pack(channel)
+            + _KEYLEN.pack(len(key_bytes))
+            + key_bytes
+            + _CRC.pack(zlib.crc32(envelope) & 0xFFFFFFFF)
+            + envelope,
+        )
+
+    @staticmethod
+    def _split_submit(frame: Frame) -> Tuple[int, str, bytes]:
+        payload = frame.payload
+        fixed = _CHANNEL.size + _KEYLEN.size
+        if len(payload) < fixed:
+            raise TruncatedFrame(
+                f"v2 SUBMIT payload of {len(payload)} bytes is shorter "
+                f"than its channel + key-length prefix"
+            )
+        channel = _CHANNEL.unpack_from(payload)[0]
+        keylen = _KEYLEN.unpack_from(payload, _CHANNEL.size)[0]
+        if len(payload) < fixed + keylen + _CRC.size:
+            raise TruncatedFrame(
+                f"v2 SUBMIT payload of {len(payload)} bytes is shorter "
+                f"than its {keylen}-byte key + CRC"
+            )
+        try:
+            key = payload[fixed:fixed + keylen].decode("ascii")
+        except UnicodeDecodeError:
+            raise CorruptFrame(
+                "v2 SUBMIT idempotency key is not ASCII"
+            ) from None
+        crc = _CRC.unpack_from(payload, fixed + keylen)[0]
+        envelope = payload[fixed + keylen + _CRC.size:]
+        _check_crc(envelope, crc, "SUBMIT")
+        return channel, key, envelope
+
+    @classmethod
+    def decode_submit(cls, frame: Frame) -> Tuple[int, List[RunRequest]]:
+        channel, _, envelope = cls._split_submit(frame)
+        return channel, decode_requests(envelope)
+
+    @classmethod
+    def decode_submit_ex(
+        cls, frame: Frame
+    ) -> Tuple[int, str, List[RunRequest]]:
+        channel, key, envelope = cls._split_submit(frame)
+        return channel, key, decode_requests(envelope)
+
+    @staticmethod
+    def wrap_summary(
+        channel: int, envelope: bytes, cached: bool = False
+    ) -> Frame:
+        """A SUMMARY frame around pre-encoded envelope bytes.
+
+        The server's idempotency cache stores *encoded* envelopes, so a
+        cache hit re-frames the original bytes — the resubmitted request
+        is answered with exactly what the first execution produced.
+        """
+        return Frame(
+            FRAME_SUMMARY,
+            _CHANNEL.pack(channel)
+            + _CRC.pack(zlib.crc32(envelope) & 0xFFFFFFFF)
+            + envelope,
+            flags=FLAG_CACHED if cached else 0,
+        )
+
+    @staticmethod
+    def _split_summary(frame: Frame) -> Tuple[int, bytes]:
+        payload = frame.payload
+        fixed = _CHANNEL.size + _CRC.size
+        if len(payload) < fixed:
+            raise TruncatedFrame(
+                f"v2 SUMMARY payload of {len(payload)} bytes is shorter "
+                f"than its channel + CRC prefix"
+            )
+        channel = _CHANNEL.unpack_from(payload)[0]
+        crc = _CRC.unpack_from(payload, _CHANNEL.size)[0]
+        envelope = payload[fixed:]
+        _check_crc(envelope, crc, "SUMMARY")
+        return channel, envelope
+
+    @classmethod
+    def summary_channel(cls, frame: Frame) -> int:
+        # channel sits ahead of the CRC, so reading it never needs the
+        # CRC to pass — but collect() decodes right after, which does.
+        payload = frame.payload
+        if len(payload) < _CHANNEL.size:
+            raise TruncatedFrame(
+                f"v2 SUMMARY payload of {len(payload)} bytes is shorter "
+                f"than its channel prefix"
+            )
+        return int(_CHANNEL.unpack_from(payload)[0])
+
+    @classmethod
+    def decode_summary(
+        cls, frame: Frame, requests: Sequence[RunRequest]
+    ) -> List[RunSummary]:
+        _, envelope = cls._split_summary(frame)
+        return decode_summaries(envelope, requests)
+
+    @staticmethod
+    def summary_cached(frame: Frame) -> bool:
+        return bool(frame.flags & FLAG_CACHED)

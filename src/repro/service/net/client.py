@@ -22,6 +22,7 @@ enforces).
 from __future__ import annotations
 
 import socket
+import uuid
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Type
 
@@ -44,6 +45,8 @@ from .framing import (
     FRAME_METRICS,
     FRAME_METRICS_REQ,
     FRAME_NEGOTIATE,
+    FRAME_RESUME,
+    FRAME_RESUMED,
     FRAME_SUMMARY,
     MAX_FRAME_BYTES,
     Frame,
@@ -59,10 +62,17 @@ from .framing import (
     parse_control,
 )
 
-__all__ = ["CommonClient", "Client", "MockClient"]
+__all__ = ["CommonClient", "Client", "MockClient", "SURVIVABLE_ERROR_CODES"]
 
 #: default cap on requests per SUBMIT envelope in :meth:`CommonClient.run`.
 DEFAULT_CHUNK = 32
+
+#: ERROR codes after which the session stays usable: the server refused
+#: one envelope (quota or admission control) but the connection and every
+#: other in-flight channel are intact.  Any *other* error the wire
+#: surfaces is connection-fatal — the client hard-closes the socket so no
+#: later call can block on a stream that will never produce its frame.
+SURVIVABLE_ERROR_CODES = frozenset({"quota-exceeded", "retry-after"})
 
 
 def _int_field(doc: Dict[str, object], key: str) -> int:
@@ -90,6 +100,9 @@ class CommonClient:
         self._server_info: Dict[str, object] = {}
         self._requests: Dict[int, List[RunRequest]] = {}
         self._next_channel = 1
+        #: SUMMARY frames answered from the server's idempotency cache
+        #: (protocol v2 FLAG_CACHED) — the duplicate-execution meter.
+        self.cache_hits = 0
 
     # -- session state -------------------------------------------------------
 
@@ -130,8 +143,15 @@ class CommonClient:
         """Establish the session (handshake + version negotiation)."""
         raise NotImplementedError
 
-    def submit(self, requests: Sequence[RunRequest]) -> int:
-        """Ship one envelope of requests; returns its channel id."""
+    def submit(
+        self, requests: Sequence[RunRequest], *, key: Optional[str] = None
+    ) -> int:
+        """Ship one envelope of requests; returns its channel id.
+
+        ``key`` is the envelope's idempotency key (protocol v2+); when
+        omitted on a v2 session, the client generates one — every
+        envelope is resumable by default.  Pre-v2 sessions ignore it.
+        """
         raise NotImplementedError
 
     def collect(self, channel: int) -> List[RunSummary]:
@@ -140,6 +160,15 @@ class CommonClient:
 
     def drain(self) -> int:
         """Barrier: return once every submitted request has resolved."""
+        raise NotImplementedError
+
+    def resume(self, lineage: str) -> List[str]:
+        """Bind the session to ``lineage`` (protocol v2+).
+
+        Returns the idempotency keys the server still holds cached
+        results for — a reconnecting caller resubmits everything
+        unacknowledged and the listed keys answer from the cache.
+        """
         raise NotImplementedError
 
     def metrics(self) -> Dict[str, object]:
@@ -240,10 +269,29 @@ class Client(CommonClient):
         #: SUMMARY frames that arrived while collecting another channel
         #: (protocol v1 delivers out of order).
         self._parked: Dict[int, Frame] = {}
+        #: channel -> idempotency key (v2 sessions), for resubmission.
+        self._keys: Dict[int, str] = {}
         self.bytes_sent = 0
         self.bytes_received = 0
 
     # -- wire plumbing -------------------------------------------------------
+
+    def _abort(self) -> None:
+        """Hard-close after a connection-fatal error.
+
+        The ISSUE-10 cleanup contract: every typed-error exit closes the
+        socket and leaves the object in a state where any later call —
+        including a ``collect`` on a channel that was parked behind the
+        failure — raises a typed :class:`SessionClosed` immediately
+        instead of blocking on a stream that will never produce bytes.
+        """
+        sock, self._sock = self._sock, None
+        self._protocol = None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass  # already torn down by the kernel
 
     def _send_frame(self, frame: Frame) -> None:
         if self._sock is None:
@@ -252,27 +300,51 @@ class Client(CommonClient):
         try:
             self._sock.sendall(data)
         except socket.timeout:
+            self._abort()
             raise NetTimeout(
                 f"send timed out after {self.timeout}s"
+            ) from None
+        except OSError as exc:
+            self._abort()
+            raise SessionClosed(
+                f"socket failed while sending a {frame.name} frame: {exc}"
             ) from None
         self.bytes_sent += len(data)
 
     def _recv_frame(self) -> Frame:
-        """The next frame off the socket; typed errors, never hangs."""
+        """The next frame off the socket; typed errors, never hangs.
+
+        Every failure here is connection-fatal (timeout, reset, EOF,
+        desync, oversize): the socket is closed before the typed error
+        propagates, so no parked channel can wait on it afterwards.
+        """
         if self._sock is None:
             raise SessionClosed("client is not connected")
         while True:
-            frame = self._decoder.next_frame()
+            try:
+                frame = self._decoder.next_frame()
+            except NetError:
+                self._abort()  # BadMagic / OversizedFrame: stream desync
+                raise
             if frame is not None:
                 return frame
             try:
                 data = self._sock.recv(65536)
             except socket.timeout:
+                self._abort()
                 raise NetTimeout(
                     f"no frame within {self.timeout}s"
                 ) from None
+            except OSError as exc:
+                self._abort()
+                raise SessionClosed(
+                    f"socket failed while receiving: {exc}"
+                ) from None
             if not data:
-                self._decoder.eof()  # raises TruncatedFrame mid-frame
+                try:
+                    self._decoder.eof()  # raises TruncatedFrame mid-frame
+                finally:
+                    self._abort()
                 raise SessionClosed(
                     "server closed the connection while frames were "
                     "still expected"
@@ -281,20 +353,43 @@ class Client(CommonClient):
             self._decoder.feed(data)
 
     def _control_reply(self, frame: Frame) -> Dict[str, object]:
-        """Parse a control frame, promoting ERROR/GOODBYE to exceptions."""
+        """Parse a control frame, promoting ERROR/GOODBYE to exceptions.
+
+        A survivable ERROR (``quota-exceeded``, ``retry-after``) leaves
+        the session open; anything else — including GOODBYE — aborts the
+        connection before the typed error propagates.
+        """
         if frame.type == FRAME_ERROR:
             doc = parse_control(frame.payload)
+            code = str(doc.get("code", "net-error"))
+            hint = doc.get("retry_after_ms")
+            if code not in SURVIVABLE_ERROR_CODES:
+                self._abort()
             raise ServerError(
-                str(doc.get("code", "net-error")),
+                code,
                 str(doc.get("message", "")),
                 doc.get("channel") if isinstance(doc.get("channel"), int) else None,
+                float(hint) if isinstance(hint, (int, float)) else None,
             )
         if frame.type == FRAME_GOODBYE:
             doc = parse_control(frame.payload)
+            self._abort()
             raise SessionClosed(
                 f"server said goodbye: {doc.get('reason', 'unspecified')}"
             )
         return parse_control(frame.payload)
+
+    def _park(self, frame: Frame) -> None:
+        """Park an out-of-order SUMMARY frame under its channel."""
+        assert self._protocol is not None
+        try:
+            channel = self._protocol.summary_channel(frame)
+        except NetError:
+            self._abort()  # truncated v2 payload: stream cannot be trusted
+            raise
+        if self._protocol.summary_cached(frame):
+            self.cache_hits += 1
+        self._parked[channel] = frame
 
     # -- contract ------------------------------------------------------------
 
@@ -336,25 +431,48 @@ class Client(CommonClient):
             self._session = _int_field(doc, "session")
             self._quota = _int_field(doc, "quota")
             self._server_info = info
-        except NetError:
-            self._sock.close()
-            self._sock = None
-            raise
+        except (NetError, OSError) as exc:
+            # _abort() is idempotent: paths through _recv_frame /
+            # _control_reply have already hard-closed the socket, the
+            # others (choose_version, field validation) have not.
+            self._abort()
+            if isinstance(exc, NetError):
+                raise
+            raise SessionClosed(
+                f"socket failed during handshake: {exc}"
+            ) from None
         return self
 
-    def submit(self, requests: Sequence[RunRequest]) -> int:
-        """Ship one SUBMIT envelope; returns its channel id."""
+    def submit(
+        self, requests: Sequence[RunRequest], *, key: Optional[str] = None
+    ) -> int:
+        """Ship one SUBMIT envelope; returns its channel id.
+
+        On a v2 session every envelope carries an idempotency key —
+        ``key`` if given, else a generated UUID — so a resubmit after a
+        reconnect can never execute twice.  Pre-v2 dialects have no key
+        field; an explicit ``key`` is accepted and silently dropped.
+        """
         if self._protocol is None:
             raise SessionClosed("client is not connected")
+        if key is None and self._protocol.version >= 2:
+            key = uuid.uuid4().hex
         channel = self._register(requests)
-        self._send_frame(self._protocol.encode_submit(channel, requests))
+        self._keys[channel] = key or ""
+        self._send_frame(
+            self._protocol.encode_submit(channel, requests, key or "")
+        )
         return channel
+
+    def channel_key(self, channel: int) -> str:
+        """The idempotency key a channel was submitted under ("" pre-v2)."""
+        return self._keys.get(channel, "")
 
     def collect(self, channel: int) -> List[RunSummary]:
         """Block for ``channel``'s SUMMARY frame; rejoin and return it.
 
         SUMMARY frames for *other* channels that arrive first are parked
-        and handed out when their channel is collected — protocol v1
+        and handed out when their channel is collected — protocol v1+
         delivers summaries in completion order.
         """
         if self._protocol is None:
@@ -366,16 +484,23 @@ class Client(CommonClient):
         while channel not in self._parked:
             frame = self._recv_frame()
             if frame.type == FRAME_SUMMARY:
-                self._parked[proto.summary_channel(frame)] = frame
+                self._park(frame)
                 continue
             self._control_reply(frame)  # raises on ERROR/GOODBYE
+            self._abort()
             raise NetError(
                 f"unexpected {frame.name} frame while collecting "
                 f"channel {channel}"
             )
         frame = self._parked.pop(channel)
+        try:
+            summaries = proto.decode_summary(frame, requests)
+        except NetError:
+            self._abort()  # CorruptFrame / truncated envelope
+            raise
         del self._requests[channel]
-        return proto.decode_summary(frame, requests)
+        self._keys.pop(channel, None)
+        return summaries
 
     def drain(self) -> int:
         """In-band barrier (protocol v1+); returns the flush count."""
@@ -384,14 +509,43 @@ class Client(CommonClient):
         while True:
             frame = self._recv_frame()
             if frame.type == FRAME_SUMMARY and self._protocol is not None:
-                self._parked[self._protocol.summary_channel(frame)] = frame
+                self._park(frame)
                 continue
             if frame.type == FRAME_DRAINED:
                 doc = self._control_reply(frame)
                 flushed = doc.get("flushed", 0)
                 return int(flushed) if isinstance(flushed, int) else 0
             self._control_reply(frame)  # raises on ERROR/GOODBYE
+            self._abort()
             raise NetError(f"unexpected {frame.name} frame during drain")
+
+    def resume(self, lineage: str) -> List[str]:
+        """Bind this session to ``lineage`` (protocol v2+).
+
+        Returns the idempotency keys the server still holds cached
+        results for.  Call right after :meth:`connect` — before any
+        submit — so every keyed envelope of this session is resumable.
+        """
+        self._require(FRAME_RESUME, "RESUME")
+        self._send_frame(
+            Frame(FRAME_RESUME, control_payload({"lineage": lineage}))
+        )
+        while True:
+            frame = self._recv_frame()
+            if frame.type == FRAME_SUMMARY and self._protocol is not None:
+                self._park(frame)
+                continue
+            if frame.type == FRAME_RESUMED:
+                doc = self._control_reply(frame)
+                cached = doc.get("cached")
+                if not isinstance(cached, list):
+                    return []
+                return [k for k in cached if isinstance(k, str)]
+            self._control_reply(frame)  # raises on ERROR/GOODBYE
+            self._abort()
+            raise NetError(
+                f"unexpected {frame.name} frame awaiting RESUMED"
+            )
 
     def metrics(self) -> Dict[str, object]:
         """Sample the server's metrics rollup (protocol v1+)."""
@@ -400,18 +554,24 @@ class Client(CommonClient):
         while True:
             frame = self._recv_frame()
             if frame.type == FRAME_SUMMARY and self._protocol is not None:
-                self._parked[self._protocol.summary_channel(frame)] = frame
+                self._park(frame)
                 continue
             if frame.type == FRAME_METRICS:
                 return self._control_reply(frame)
             self._control_reply(frame)  # raises on ERROR/GOODBYE
+            self._abort()
             raise NetError(
                 f"unexpected {frame.name} frame awaiting metrics"
             )
 
     def close(self) -> None:
-        """Say GOODBYE and close the socket (idempotent)."""
+        """Say GOODBYE and close the socket (idempotent).
+
+        Safe from every state: never connected, connect failed halfway,
+        session aborted by a typed error, or already closed.
+        """
         if self._sock is None:
+            self._protocol = None
             return
         if self._protocol is not None:
             try:
@@ -420,17 +580,15 @@ class Client(CommonClient):
                 )
             except (NetError, OSError):
                 pass  # the socket may already be gone; close anyway
-        self._sock.close()
-        self._sock = None
-        self._protocol = None
+        self._abort()
 
     def _require(self, frame_type: int, name: str) -> None:
         if self._protocol is None:
             raise SessionClosed("client is not connected")
         if not self._protocol.supports(frame_type):
             raise UnsupportedFrame(
-                f"{name} frames need protocol >= 1; this session "
-                f"negotiated version {self._protocol.version}"
+                f"{name} frames are not legal on protocol version "
+                f"{self._protocol.version}"
             )
 
 
@@ -466,8 +624,15 @@ class MockClient(CommonClient):
         }
         return self
 
-    def submit(self, requests: Sequence[RunRequest]) -> int:
-        """Execute one envelope eagerly; returns its channel id."""
+    def submit(
+        self, requests: Sequence[RunRequest], *, key: Optional[str] = None
+    ) -> int:
+        """Execute one envelope eagerly; returns its channel id.
+
+        ``key`` is accepted for contract parity and remembered, but an
+        in-memory client has no wire to lose results on — dedup never
+        has anything to do.
+        """
         if self._protocol is None:
             raise SessionClosed("client is not connected")
         channel = self._register(requests)
@@ -497,6 +662,12 @@ class MockClient(CommonClient):
         if self._protocol is None:
             raise SessionClosed("client is not connected")
         return 0
+
+    def resume(self, lineage: str) -> List[str]:
+        """Accept any lineage; nothing is ever cached in-memory."""
+        if self._protocol is None:
+            raise SessionClosed("client is not connected")
+        return []
 
     def metrics(self) -> Dict[str, object]:
         """A synthetic metrics document mirroring the server's shape."""

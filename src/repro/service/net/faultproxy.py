@@ -1,0 +1,506 @@
+"""A wire-level fault-injection TCP proxy (toxiproxy-style).
+
+:class:`FaultProxy` sits between a client and a
+:class:`~repro.service.net.server.NetServer` and damages the byte
+stream in scriptable ways — the resilience layer's test double for a
+bad network.  Faults ("toxics") are declarative specs in the same
+spirit as the chaos harness's ``poison``/``kill``/``slow:<ms>`` request
+vocabulary (see :mod:`repro.service.chaos`), but applied to *bytes in
+flight* instead of requests:
+
+========================  ==================================================
+spec                      effect
+========================  ==================================================
+``latency:MS``            delay every chunk by MS milliseconds
+``jitter:MS``             delay every chunk by uniform [0, MS) milliseconds
+``rate:KBPS``             cap throughput at KBPS kibibytes per second
+``disconnect:BYTES``      hard-close the connection after BYTES total
+                          bytes — deliberately mid-frame
+``blackhole``             swallow bytes silently (connection stays up)
+``blackhole:MS``          swallow bytes for the first MS milliseconds of
+                          each connection, then pass cleanly
+``corrupt:PROB``          flip one byte per chunk with probability PROB
+========================  ==================================================
+
+A spec may carry a direction suffix — ``latency:20@up`` (client→server),
+``corrupt:0.01@down`` (server→client); the default is ``@both``.
+Malformed specs raise the chaos harness's typed
+:class:`~repro.service.chaos.ChaosFault`.
+
+All randomness (jitter, corruption) comes from a seeded RNG, so a
+failing fault schedule replays exactly.  :class:`ProxyThread` hosts the
+asyncio proxy on a background thread for blocking tests and the CLI,
+mirroring :class:`~repro.service.net.server.ServerThread`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..chaos import ChaosFault
+
+__all__ = ["Toxic", "parse_toxic", "FaultProxy", "ProxyThread"]
+
+#: recognised toxic kinds (the first token of a spec).
+TOXIC_KINDS = (
+    "latency",
+    "jitter",
+    "rate",
+    "disconnect",
+    "blackhole",
+    "corrupt",
+)
+
+#: direction tags: ``up`` is client→server, ``down`` is server→client.
+DIRECTIONS = ("up", "down", "both")
+
+#: proxy read granularity.  Small enough that latency/rate shaping and
+#: mid-chunk disconnects operate well below frame size.
+CHUNK = 4096
+
+
+@dataclass(frozen=True)
+class Toxic:
+    """One parsed fault: ``kind``, its magnitude, and a direction."""
+
+    kind: str
+    value: float = 0.0
+    direction: str = "both"
+
+    def applies(self, direction: str) -> bool:
+        """Whether this toxic shapes traffic flowing ``direction``."""
+        return self.direction in ("both", direction)
+
+    @property
+    def spec(self) -> str:
+        """The canonical spec string this toxic round-trips to."""
+        base = self.kind
+        if not (self.kind == "blackhole" and self.value == 0.0):
+            base += f":{self.value:g}"
+        if self.direction != "both":
+            base += f"@{self.direction}"
+        return base
+
+
+def parse_toxic(spec: str) -> Toxic:
+    """Parse one toxic spec (see module table); typed error if malformed.
+
+    Raises :class:`~repro.service.chaos.ChaosFault` — the same error the
+    request-level chaos vocabulary uses for an unknown fault, so a typo
+    in a chaos plan surfaces identically whichever layer it targets.
+    """
+    body, sep, direction = spec.partition("@")
+    if sep and direction not in ("up", "down"):
+        raise ChaosFault(
+            f"malformed toxic direction {direction!r} in {spec!r} "
+            f"(expected 'up' or 'down')"
+        )
+    kind, sep, raw = body.partition(":")
+    if kind not in TOXIC_KINDS:
+        raise ChaosFault(
+            f"unknown toxic kind {kind!r} in {spec!r} "
+            f"(expected one of {', '.join(TOXIC_KINDS)})"
+        )
+    if not sep:
+        if kind == "blackhole":
+            return Toxic("blackhole", 0.0, direction or "both")
+        raise ChaosFault(f"toxic {kind!r} needs a value: {spec!r}")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ChaosFault(
+            f"malformed toxic value {raw!r} in {spec!r}"
+        ) from None
+    if value < 0:
+        raise ChaosFault(f"toxic value must be >= 0 in {spec!r}")
+    if kind == "corrupt" and value > 1:
+        raise ChaosFault(
+            f"corrupt probability must be in [0, 1], got {value:g}"
+        )
+    if kind in ("rate", "disconnect") and value <= 0:
+        raise ChaosFault(f"toxic {kind!r} needs a positive value: {spec!r}")
+    return Toxic(kind, value, direction or "both")
+
+
+def _coerce_toxics(toxics: Sequence[Union[str, Toxic]]) -> List[Toxic]:
+    return [t if isinstance(t, Toxic) else parse_toxic(t) for t in toxics]
+
+
+@dataclass
+class _ConnState:
+    """Per-connection fault bookkeeping shared by both pump directions."""
+
+    started_at: float
+    #: cumulative proxied bytes (both directions) for ``disconnect``.
+    total_bytes: int = 0
+    dropped: bool = False
+
+
+class FaultProxy:
+    """Asyncio TCP proxy that forwards ``host:port`` → upstream, badly.
+
+    Construct, ``await start()``, connect clients to :attr:`port`.
+    Toxics can be swapped at runtime (:meth:`set_toxics`) and live
+    connections severed on demand (:meth:`drop_connections` — the
+    "flap" primitive the reconnect soak is built on).
+
+    Counters (``connections``, ``disconnects``, ``corrupted``,
+    ``blackholed``, ``bytes_up``, ``bytes_down``) are plain attributes:
+    single-threaded inside the event loop, snapshot-read from outside.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        toxics: Sequence[Union[str, Toxic]] = (),
+        seed: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.host = host
+        self.port = int(port)
+        self._toxics: List[Toxic] = _coerce_toxics(toxics)
+        self._rng = random.Random(seed)
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self.connections = 0
+        self.disconnects = 0
+        self.corrupted = 0
+        self.blackholed = 0
+        self.bytes_up = 0
+        self.bytes_down = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "FaultProxy":
+        """Bind and start accepting; resolves the ephemeral port."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        """Stop accepting and sever every live connection (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        self.drop_connections()
+        # wait for the pump tasks to observe their aborted transports —
+        # a destroyed-while-pending task is a resource leak warning.
+        tasks = [t for t in self._conn_tasks if not t.done()]
+        if tasks:
+            await asyncio.wait(tasks, timeout=5.0)
+
+    # -- runtime control -----------------------------------------------------
+
+    @property
+    def toxics(self) -> List[Toxic]:
+        """The currently active toxics."""
+        return list(self._toxics)
+
+    def set_toxics(self, toxics: Sequence[Union[str, Toxic]]) -> None:
+        """Replace the active toxic set (applies to in-flight chunks)."""
+        self._toxics = _coerce_toxics(toxics)
+
+    def add_toxic(self, toxic: Union[str, Toxic]) -> None:
+        """Append one toxic to the active set."""
+        self._toxics = self._toxics + _coerce_toxics([toxic])
+
+    def clear_toxics(self) -> None:
+        """Remove every toxic (clean pass-through)."""
+        self._toxics = []
+
+    def drop_connections(self) -> int:
+        """Hard-close every live connection; returns how many (a flap)."""
+        writers, self._writers = self._writers, set()
+        for writer in writers:
+            _abort_writer(writer)
+        dropped = len(writers) // 2  # two writers per proxied connection
+        self.disconnects += dropped
+        return dropped
+
+    # -- data path -----------------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            _abort_writer(writer)
+            return
+        self.connections += 1
+        self._writers.add(writer)
+        self._writers.add(up_writer)
+        state = _ConnState(started_at=loop.time())
+        try:
+            await asyncio.gather(
+                self._pump(reader, up_writer, "up", state),
+                self._pump(up_reader, writer, "down", state),
+            )
+        finally:
+            self._writers.discard(writer)
+            self._writers.discard(up_writer)
+            _abort_writer(writer)
+            _abort_writer(up_writer)
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        direction: str,
+        state: _ConnState,
+    ) -> None:
+        """Forward one direction chunk by chunk, applying toxics."""
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                data = await reader.read(CHUNK)
+            except (OSError, asyncio.IncompleteReadError):
+                break
+            if not data or state.dropped:
+                break
+            forward = True
+            for toxic in self._toxics:
+                if not toxic.applies(direction):
+                    continue
+                if toxic.kind == "latency":
+                    await asyncio.sleep(toxic.value / 1e3)
+                elif toxic.kind == "jitter":
+                    await asyncio.sleep(
+                        self._rng.random() * toxic.value / 1e3
+                    )
+                elif toxic.kind == "rate":
+                    await asyncio.sleep(len(data) / (toxic.value * 1024.0))
+                elif toxic.kind == "corrupt":
+                    data = self._maybe_corrupt(data, toxic.value)
+                elif toxic.kind == "blackhole":
+                    if (
+                        toxic.value == 0.0
+                        or (loop.time() - state.started_at) * 1e3
+                        < toxic.value
+                    ):
+                        forward = False
+                elif toxic.kind == "disconnect":
+                    budget = int(toxic.value) - state.total_bytes
+                    if budget < len(data):
+                        # forward a partial chunk then cut: the victim
+                        # sees a *mid-frame* close, which is exactly
+                        # the TruncatedFrame path under test.
+                        data = data[:max(0, budget)]
+                        state.dropped = True
+            if not forward:
+                self.blackholed += len(data)
+                continue
+            state.total_bytes += len(data)
+            if direction == "up":
+                self.bytes_up += len(data)
+            else:
+                self.bytes_down += len(data)
+            try:
+                if data:
+                    writer.write(data)
+                    await writer.drain()
+            except (OSError, ConnectionResetError):
+                break
+            if state.dropped:
+                self.disconnects += 1
+                break
+        _abort_writer(writer)
+
+    def _maybe_corrupt(self, data: bytes, probability: float) -> bytes:
+        if probability <= 0.0 or self._rng.random() >= probability:
+            return data
+        index = self._rng.randrange(len(data))
+        flipped = bytearray(data)
+        flipped[index] ^= 0xFF
+        self.corrupted += 1
+        return bytes(flipped)
+
+
+def _abort_writer(writer: asyncio.StreamWriter) -> None:
+    """Hard-close a transport without waiting (RST-ish, idempotent)."""
+    try:
+        writer.transport.abort()
+    except (OSError, RuntimeError):
+        pass  # transport already gone or loop closing
+
+
+class ProxyThread:
+    """A :class:`FaultProxy` on a background event-loop thread.
+
+    The blocking mirror of :class:`~repro.service.net.server.ServerThread`
+    — tests and the CLI compose ``ServerThread`` + ``ProxyThread`` and
+    point a blocking client at :attr:`port`.  Control methods marshal
+    onto the proxy's loop, so they are safe from the calling thread.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        toxics: Sequence[Union[str, Toxic]] = (),
+        seed: int = 0,
+    ) -> None:
+        self._proxy = FaultProxy(
+            upstream_host,
+            upstream_port,
+            host=host,
+            port=port,
+            toxics=toxics,
+            seed=seed,
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    @property
+    def host(self) -> str:
+        """The proxy's listening host."""
+        return self._proxy.host
+
+    @property
+    def port(self) -> int:
+        """The proxy's listening port (resolved once started)."""
+        return self._proxy.port
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` clients should dial."""
+        return (self._proxy.host, self._proxy.port)
+
+    def start(self) -> "ProxyThread":
+        """Start the loop thread; raises whatever ``bind`` raised."""
+        if self._thread is not None:
+            raise RuntimeError("proxy thread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-faultproxy", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=10.0)
+        if self._error is not None:
+            thread, self._thread = self._thread, None
+            thread.join(timeout=5.0)
+            raise self._error
+        if not self._started.is_set():
+            self.close()
+            raise RuntimeError("fault proxy failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        stop = loop.create_future()
+        self._stop = stop
+
+        async def main() -> None:
+            try:
+                await self._proxy.start()
+            except BaseException as exc:  # repro: ignore[RPR006] -- bind failure is stored and re-raised by start()
+                self._error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await stop
+            await self._proxy.close()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+            self._loop = None
+
+    def _call(self, fn, *args):  # type: ignore[no-untyped-def]
+        """Run ``fn(*args)`` on the proxy loop; block for the result."""
+        loop = self._loop
+        if loop is None or not loop.is_running():
+            raise RuntimeError("proxy thread is not running")
+        done = threading.Event()
+        box: Dict[str, object] = {}
+
+        def call() -> None:
+            try:
+                box["result"] = fn(*args)
+            except BaseException as exc:  # repro: ignore[RPR006] -- marshalled across threads, re-raised below
+                box["error"] = exc
+            done.set()
+
+        loop.call_soon_threadsafe(call)
+        if not done.wait(timeout=10.0):
+            raise RuntimeError("proxy control call timed out")
+        if "error" in box:
+            raise box["error"]  # type: ignore[misc]
+        return box["result"]
+
+    def set_toxics(self, toxics: Sequence[Union[str, Toxic]]) -> None:
+        """Replace the active toxic set (thread-safe)."""
+        parsed = _coerce_toxics(toxics)  # parse errors raise here, typed
+        self._call(self._proxy.set_toxics, parsed)
+
+    def add_toxic(self, toxic: Union[str, Toxic]) -> None:
+        """Append one toxic (thread-safe)."""
+        parsed = _coerce_toxics([toxic])
+        self._call(self._proxy.add_toxic, parsed[0])
+
+    def clear_toxics(self) -> None:
+        """Remove every toxic (thread-safe)."""
+        self._call(self._proxy.clear_toxics)
+
+    def drop_connections(self) -> int:
+        """Sever every live proxied connection — one flap (thread-safe)."""
+        return int(self._call(self._proxy.drop_connections))
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the proxy counters (thread-safe)."""
+        proxy = self._proxy
+        return {
+            "connections": proxy.connections,
+            "disconnects": proxy.disconnects,
+            "corrupted": proxy.corrupted,
+            "blackholed": proxy.blackholed,
+            "bytes_up": proxy.bytes_up,
+            "bytes_down": proxy.bytes_down,
+        }
+
+    def close(self) -> None:
+        """Stop the proxy and join the loop thread (idempotent)."""
+        thread, self._thread = self._thread, None
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            try:
+                loop.call_soon_threadsafe(
+                    lambda: self._stop.done() or self._stop.set_result(None)
+                )
+            except RuntimeError:
+                pass  # loop shut down between the check and the call
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=10.0)
+
+    def __enter__(self) -> "ProxyThread":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

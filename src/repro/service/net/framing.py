@@ -40,6 +40,8 @@ __all__ = [
     "FRAME_HELLO",
     "FRAME_NEGOTIATE",
     "FRAME_ACCEPT",
+    "FRAME_RESUME",
+    "FRAME_RESUMED",
     "FRAME_SUBMIT",
     "FRAME_SUMMARY",
     "FRAME_METRICS_REQ",
@@ -55,6 +57,7 @@ __all__ = [
     "BadMagic",
     "OversizedFrame",
     "TruncatedFrame",
+    "CorruptFrame",
     "HandshakeError",
     "UnsupportedFrame",
     "ServerError",
@@ -87,6 +90,8 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 FRAME_HELLO = 0x01
 FRAME_NEGOTIATE = 0x02
 FRAME_ACCEPT = 0x03
+FRAME_RESUME = 0x04
+FRAME_RESUMED = 0x05
 FRAME_SUBMIT = 0x10
 FRAME_SUMMARY = 0x11
 FRAME_METRICS_REQ = 0x20
@@ -101,6 +106,8 @@ FRAME_NAMES: Dict[int, str] = {
     FRAME_HELLO: "HELLO",
     FRAME_NEGOTIATE: "NEGOTIATE",
     FRAME_ACCEPT: "ACCEPT",
+    FRAME_RESUME: "RESUME",
+    FRAME_RESUMED: "RESUMED",
     FRAME_SUBMIT: "SUBMIT",
     FRAME_SUMMARY: "SUMMARY",
     FRAME_METRICS_REQ: "METRICS_REQ",
@@ -146,6 +153,15 @@ class TruncatedFrame(NetError):
     code = "truncated-frame"
 
 
+class CorruptFrame(NetError):
+    """A v2 data payload failed its CRC32 check — bytes were damaged in
+    transit (or by a fault proxy).  Connection-fatal: the stream can no
+    longer be trusted, so the client reconnects and resubmits under the
+    same idempotency keys."""
+
+    code = "corrupt-frame"
+
+
 class HandshakeError(NetError):
     """Version negotiation failed (no mutual version, or a data frame
     arrived before the handshake completed)."""
@@ -164,17 +180,24 @@ class ServerError(NetError):
     """The peer reported a failure in an ERROR frame.
 
     Attributes mirror the frame payload: ``code`` (machine-readable),
-    ``message`` (human-readable), and ``channel`` (the submit envelope the
-    error refers to, or ``None`` for connection-level errors).
+    ``message`` (human-readable), ``channel`` (the submit envelope the
+    error refers to, or ``None`` for connection-level errors), and
+    ``retry_after_ms`` (the server's backoff hint on ``retry-after``
+    admission-control refusals, else ``None``).
     """
 
     def __init__(
-        self, code: str, message: str, channel: Optional[int] = None
+        self,
+        code: str,
+        message: str,
+        channel: Optional[int] = None,
+        retry_after_ms: Optional[float] = None,
     ) -> None:
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
         self.channel = channel
+        self.retry_after_ms = retry_after_ms
 
 
 class SessionClosed(NetError):

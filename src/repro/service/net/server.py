@@ -29,10 +29,16 @@ from __future__ import annotations
 import asyncio
 import itertools
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Type
 
-from ...core.engine import RunRequest, RunSummary
+from ...core.engine import (
+    STATUS_COMPLETED,
+    STATUS_FAILED,
+    RunRequest,
+    RunSummary,
+)
 from ..stream import StreamGateway
 from ._factory import SUPPORTED_VERSIONS, protocol_for_version
 from ._v0 import ProtocolV0
@@ -46,6 +52,8 @@ from .framing import (
     FRAME_METRICS,
     FRAME_METRICS_REQ,
     FRAME_NEGOTIATE,
+    FRAME_RESUME,
+    FRAME_RESUMED,
     FRAME_SUBMIT,
     MAX_FRAME_BYTES,
     Frame,
@@ -61,6 +69,9 @@ from .framing import (
 __all__ = [
     "SERVER_NAME",
     "DEFAULT_SESSION_QUOTA",
+    "DEFAULT_IDEMPOTENCY_KEYS",
+    "DEFAULT_MAX_LINEAGES",
+    "DEFAULT_RETRY_AFTER_MS",
     "HANDSHAKE_TIMEOUT_S",
     "NetServer",
     "ServerThread",
@@ -73,6 +84,15 @@ SERVER_NAME = "repro.service.net"
 #: max outstanding (submitted, not yet summarised) requests per session.
 DEFAULT_SESSION_QUOTA = 64
 
+#: bound on cached idempotency-key results per lineage (LRU-evicted).
+DEFAULT_IDEMPOTENCY_KEYS = 512
+
+#: bound on distinct lineages the server remembers (FIFO-evicted).
+DEFAULT_MAX_LINEAGES = 64
+
+#: backoff hint stamped into ``retry-after`` errors (admission control).
+DEFAULT_RETRY_AFTER_MS = 50.0
+
 #: a connection that has not completed NEGOTIATE within this window is
 #: dropped — half-open sockets cannot pin server resources.
 HANDSHAKE_TIMEOUT_S = 10.0
@@ -83,6 +103,43 @@ _READ_CHUNK = 65536
 #: socket-level failures that mean "the peer is gone", not "a bug":
 #: they end the session quietly instead of producing an ERROR frame.
 _GONE = (ConnectionResetError, BrokenPipeError, OSError)
+
+
+@dataclass
+class _Lineage:
+    """Idempotency state for one client identity, across connections.
+
+    A *lineage* is the client-chosen identity a RESUME frame binds a
+    session to; it outlives any one TCP connection, which is the whole
+    point — a reconnecting client re-attaches and its resubmitted
+    envelopes are answered from ``cache`` instead of re-executing.
+
+    ``cache`` maps idempotency key -> *encoded* summary-envelope bytes
+    (LRU, bounded by ``cap``): serving original bytes guarantees a
+    resubmit's answer is byte-identical to the first execution's.
+    ``inflight`` coalesces a resubmit that races the first execution —
+    the retry awaits the same result instead of executing again.
+    """
+
+    id: str
+    cap: int
+    cache: "OrderedDict[str, bytes]" = field(default_factory=OrderedDict)
+    inflight: Dict[str, "asyncio.Future[bytes]"] = field(
+        default_factory=dict
+    )
+    sessions: int = 0
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    evictions: int = 0
+
+    def remember(self, key: str, envelope: bytes) -> None:
+        """Cache one executed envelope, LRU-evicting past ``cap``."""
+        self.cache[key] = envelope
+        self.cache.move_to_end(key)
+        while len(self.cache) > self.cap:
+            self.cache.popitem(last=False)
+            self.evictions += 1
 
 
 @dataclass
@@ -102,6 +159,8 @@ class _Session:
     chain: Optional["asyncio.Task[None]"] = None
     #: live delivery tasks — what close()/DRAIN wait on.
     pending: Set["asyncio.Task[None]"] = field(default_factory=set)
+    #: the lineage a RESUME frame bound this session to (v2+ only).
+    lineage: Optional[_Lineage] = None
 
 
 class NetServer:
@@ -135,15 +194,27 @@ class NetServer:
         autoscale: bool = False,
         session_quota: int = DEFAULT_SESSION_QUOTA,
         max_frame: int = MAX_FRAME_BYTES,
+        idempotency_keys: int = DEFAULT_IDEMPOTENCY_KEYS,
+        max_lineages: int = DEFAULT_MAX_LINEAGES,
+        retry_after_ms: float = DEFAULT_RETRY_AFTER_MS,
     ) -> None:
         if session_quota < 1:
             raise ValueError("session_quota must be >= 1")
         if max_frame < 1024:
             raise ValueError("max_frame must be >= 1024")
+        if idempotency_keys < 1:
+            raise ValueError("idempotency_keys must be >= 1")
+        if max_lineages < 1:
+            raise ValueError("max_lineages must be >= 1")
+        if retry_after_ms <= 0:
+            raise ValueError("retry_after_ms must be > 0")
         self._requested_host = host
         self._requested_port = port
         self.session_quota = int(session_quota)
         self.max_frame = int(max_frame)
+        self.idempotency_keys = int(idempotency_keys)
+        self.max_lineages = int(max_lineages)
+        self.retry_after_ms = float(retry_after_ms)
         self.gateway = StreamGateway(
             workers=workers,
             engine=engine,
@@ -158,6 +229,7 @@ class NetServer:
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._sessions: Dict[int, _Session] = {}
+        self._lineages: "OrderedDict[str, _Lineage]" = OrderedDict()
         self._session_ids = itertools.count(1)
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         self._draining = False
@@ -359,6 +431,8 @@ class NetServer:
                 )
             if frame.type == FRAME_SUBMIT:
                 await self._on_submit(session, frame)
+            elif frame.type == FRAME_RESUME:
+                await self._on_resume(session, frame)
             elif frame.type == FRAME_METRICS_REQ:
                 await self._on_metrics(session)
             elif frame.type == FRAME_DRAIN:
@@ -373,7 +447,7 @@ class NetServer:
     # -- frame handlers ------------------------------------------------------
 
     async def _on_submit(self, session: _Session, frame: Frame) -> None:
-        channel, requests = session.protocol.decode_submit(frame)
+        channel, key, requests = session.protocol.decode_submit_ex(frame)
         if self._draining:
             await self._try_send(
                 session,
@@ -394,6 +468,52 @@ class NetServer:
                 ),
             )
             return
+        lineage = session.lineage
+        if lineage is not None and key:
+            # Idempotency first: answering a resubmit from the cache (or
+            # coalescing onto the in-flight first execution) costs no
+            # gateway resources, so it is served even under saturation.
+            cached = lineage.cache.get(key)
+            if cached is not None:
+                lineage.hits += 1
+                lineage.cache.move_to_end(key)
+                self._spawn_delivery(
+                    session,
+                    self._deliver_cached(session, channel, cached),
+                    channel,
+                )
+                return
+            shared = lineage.inflight.get(key)
+            if shared is not None:
+                lineage.coalesced += 1
+                self._spawn_delivery(
+                    session,
+                    self._deliver_coalesced(session, channel, shared),
+                    channel,
+                )
+                return
+        if self._saturated(session, len(requests)):
+            # Admission control (v2+ sessions): convert gateway-queue
+            # saturation into a typed, survivable backoff hint instead
+            # of letting the reject policy fail the individual requests.
+            await self._try_send(
+                session,
+                _control(
+                    FRAME_ERROR,
+                    {
+                        "code": "retry-after",
+                        "message": (
+                            f"gateway queue is saturated "
+                            f"({self.gateway.queue_depth}/"
+                            f"{self.gateway.queue_cap}); retry envelope "
+                            f"{channel} after backoff"
+                        ),
+                        "channel": channel,
+                        "retry_after_ms": self.retry_after_ms,
+                    },
+                ),
+            )
+            return
         if session.inflight + len(requests) > session.quota:
             await self._try_send(
                 session,
@@ -411,17 +531,72 @@ class NetServer:
                 ),
             )
             return
+        inflight_result: Optional["asyncio.Future[bytes]"] = None
+        if lineage is not None and key:
+            lineage.misses += 1
+            inflight_result = asyncio.get_running_loop().create_future()
+            lineage.inflight[key] = inflight_result
         session.inflight += len(requests)
         futures = [await self.gateway.submit(r) for r in requests]
         prev = session.chain if session.protocol.ordered_summaries else None
         task = asyncio.create_task(
-            self._deliver(session, channel, requests, futures, prev),
+            self._deliver(
+                session, channel, requests, futures, prev,
+                key=key, lineage=lineage, inflight_result=inflight_result,
+            ),
             name=f"net-deliver-s{session.id}-c{channel}",
         )
         if session.protocol.ordered_summaries:
             session.chain = task
         session.pending.add(task)
         task.add_done_callback(session.pending.discard)
+
+    def _saturated(self, session: _Session, incoming: int) -> bool:
+        """Whether admission control should refuse this envelope.
+
+        Only refuses when the queue already holds work (``depth > 0``):
+        an envelope larger than the whole queue capacity must still be
+        admitted once the queue is empty, or it could never run at all.
+        Pre-v2 sessions are never refused — their dialect has no
+        ``retry-after`` vocabulary, so they keep the original gateway
+        reject/block behaviour unchanged.
+        """
+        if session.protocol.version < 2:
+            return False
+        depth = self.gateway.queue_depth
+        return depth > 0 and depth + incoming > self.gateway.queue_cap
+
+    def _spawn_delivery(
+        self, session: _Session, coro, channel: int
+    ) -> None:
+        """Track a cache/coalesce delivery like a normal delivery task."""
+        task = asyncio.create_task(
+            coro, name=f"net-cached-s{session.id}-c{channel}"
+        )
+        session.pending.add(task)
+        task.add_done_callback(session.pending.discard)
+
+    async def _deliver_cached(
+        self, session: _Session, channel: int, envelope: bytes
+    ) -> None:
+        """Answer a resubmitted envelope from the idempotency cache."""
+        await self._try_send(
+            session,
+            session.protocol.wrap_summary(channel, envelope, cached=True),
+        )
+
+    async def _deliver_coalesced(
+        self,
+        session: _Session,
+        channel: int,
+        shared: "asyncio.Future[bytes]",
+    ) -> None:
+        """Answer a resubmit by awaiting the first execution's result."""
+        envelope = await asyncio.shield(shared)
+        await self._try_send(
+            session,
+            session.protocol.wrap_summary(channel, envelope, cached=True),
+        )
 
     async def _deliver(
         self,
@@ -430,6 +605,9 @@ class NetServer:
         requests: Sequence[RunRequest],
         futures: Sequence["asyncio.Future[RunSummary]"],
         prev: Optional["asyncio.Task[None]"],
+        key: str = "",
+        lineage: Optional[_Lineage] = None,
+        inflight_result: Optional["asyncio.Future[bytes]"] = None,
     ) -> None:
         """Await one envelope's summaries and send its SUMMARY frame.
 
@@ -437,16 +615,82 @@ class NetServer:
         delivery task: awaiting it before writing guarantees SUMMARY
         frames leave in submit order even when the gateway finishes
         envelopes out of order.
+
+        For keyed (v2, lineage-bound) envelopes the *encoded* result is
+        remembered in the lineage cache before the send is attempted —
+        a client that disconnected mid-execution still finds its answer
+        waiting when it reconnects and resubmits.  Only fully *executed*
+        envelopes are cached (every row completed or failed): rejected /
+        cancelled rows never ran, and caching them would turn a retry
+        into a permanent non-answer.
         """
-        summaries: List[RunSummary] = list(await asyncio.gather(*futures))
+        try:
+            summaries: List[RunSummary] = list(await asyncio.gather(*futures))
+        except BaseException as exc:
+            if inflight_result is not None and not inflight_result.done():
+                inflight_result.set_exception(exc)
+                # mark retrieved: coalesced waiters (if any) get the
+                # exception through their shield; without waiters the
+                # future must not warn at GC time.
+                inflight_result.exception()
+            if lineage is not None:
+                lineage.inflight.pop(key, None)
+            raise
         session.inflight -= len(requests)
+        envelope = b""
+        if lineage is not None and key:
+            envelope = session.protocol.summary_envelope(summaries)
+            executed = all(
+                s.status in (STATUS_COMPLETED, STATUS_FAILED)
+                for s in summaries
+            )
+            if executed:
+                lineage.remember(key, envelope)
+            if inflight_result is not None and not inflight_result.done():
+                inflight_result.set_result(envelope)
+            lineage.inflight.pop(key, None)
         if prev is not None:
             await asyncio.gather(prev, return_exceptions=True)
-        await self._try_send(
-            session, session.protocol.encode_summary(channel, summaries)
+        if envelope:
+            frame = session.protocol.wrap_summary(channel, envelope)
+        else:
+            frame = session.protocol.encode_summary(channel, summaries)
+        await self._try_send(session, frame)
+
+    async def _on_resume(self, session: _Session, frame: Frame) -> None:
+        """Bind this session to a lineage; report which keys are cached."""
+        doc = parse_control(frame.payload)
+        lineage_id = doc.get("lineage")
+        if not isinstance(lineage_id, str) or not lineage_id:
+            raise HandshakeError(
+                f"RESUME carries no lineage string: {doc!r}"
+            )
+        lineage = self._lineages.get(lineage_id)
+        if lineage is None:
+            lineage = _Lineage(id=lineage_id, cap=self.idempotency_keys)
+            self._lineages[lineage_id] = lineage
+            while len(self._lineages) > self.max_lineages:
+                self._lineages.popitem(last=False)
+        else:
+            self._lineages.move_to_end(lineage_id)
+        session.lineage = lineage
+        resumed = lineage.sessions > 0
+        lineage.sessions += 1
+        await self._send(
+            session,
+            _control(
+                FRAME_RESUMED,
+                {
+                    "session": session.id,
+                    "lineage": lineage_id,
+                    "resumed": resumed,
+                    "cached": sorted(lineage.cache),
+                },
+            ),
         )
 
     async def _on_metrics(self, session: _Session) -> None:
+        lineages = list(self._lineages.values())
         doc = {
             "gateway": self.gateway.metrics.to_dict(),
             "engine": self.gateway.engine,
@@ -455,6 +699,14 @@ class NetServer:
             "inflight": session.inflight,
             "quota": session.quota,
             "draining": self._draining,
+            "idempotency": {
+                "lineages": len(lineages),
+                "cached_keys": sum(len(ln.cache) for ln in lineages),
+                "hits": sum(ln.hits for ln in lineages),
+                "misses": sum(ln.misses for ln in lineages),
+                "coalesced": sum(ln.coalesced for ln in lineages),
+                "evictions": sum(ln.evictions for ln in lineages),
+            },
         }
         await self._send(session, _control(FRAME_METRICS, doc))
 
@@ -535,7 +787,12 @@ class ServerThread:
         self.port = 0
 
     def start(self) -> "ServerThread":
-        """Spawn the thread; block until the server is accepting."""
+        """Spawn the thread; block until the server is accepting.
+
+        A failed start (port in use, bad kwargs, ...) raises *and*
+        leaves the object safe to ``close()`` — the error path and
+        ``__exit__`` may both run without a second exception.
+        """
         if self._thread is not None:
             raise RuntimeError("server thread already started")
         self._thread = threading.Thread(
@@ -544,19 +801,32 @@ class ServerThread:
         self._thread.start()
         self._ready.wait()
         if self._error is not None:
+            # the thread is already on its way out; reap it so close()
+            # after a failed start() is a clean no-op.
+            self._thread.join(timeout=5.0)
+            self._thread = None
             raise RuntimeError(
                 f"network server failed to start: {self._error!r}"
             ) from self._error
         return self
 
     def close(self) -> None:
-        """Gracefully stop the server and join its thread."""
-        if self._thread is None:
+        """Gracefully stop the server and join its thread (idempotent).
+
+        Safe from error paths: after a failed ``start()``, after a
+        previous ``close()``, or with the loop already torn down —
+        none of these raise.
+        """
+        thread, self._thread = self._thread, None
+        if thread is None:
             return
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
-        self._thread.join(timeout=30.0)
-        self._thread = None
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed — the thread is finishing
+        if thread.is_alive():
+            thread.join(timeout=30.0)
 
     def __enter__(self) -> "ServerThread":
         return self.start()

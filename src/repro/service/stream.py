@@ -374,6 +374,17 @@ class StreamGateway:
         """The transport actually in use ("" for the thread backend)."""
         return self._transport.name if self._transport is not None else ""
 
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued (0 before start / after close).
+
+        The admission-control signal for front ends layered above the
+        gateway: :mod:`repro.service.net` refuses SUBMIT envelopes with
+        a typed ``retry-after`` once the queue is saturated, instead of
+        letting the reject policy fail individual requests.
+        """
+        return self._queue.qsize() if self._queue is not None else 0
+
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "StreamGateway":

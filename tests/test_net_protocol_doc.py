@@ -1,24 +1,27 @@
 """docs/PROTOCOL.md is normative — pin it to the reference codec.
 
-The spec's worked hex example (between the ``example-begin`` /
-``example-end`` markers) is parsed out of the document and driven
-through the real frame decoder and protocol classes: the documented
-bytes must decode to exactly the handshake documents, request, and
-summary the prose describes — and re-encoding those objects must
-reproduce the documented bytes. If either direction breaks, the
-document has drifted from the implementation (or vice versa) and this
-test is the tripwire.
+The spec's worked hex examples (between the ``example-begin`` /
+``example-end`` and ``example-v2-begin`` / ``example-v2-end`` markers)
+are parsed out of the document and driven through the real frame
+decoder and protocol classes: the documented bytes must decode to
+exactly the handshake documents, request, and summary the prose
+describes — and re-encoding those objects must reproduce the
+documented bytes. If either direction breaks, the document has drifted
+from the implementation (or vice versa) and this test is the tripwire.
 """
 
 import pathlib
 import re
 
 from repro.core.engine import RunRequest, RunSummary
-from repro.service.net._latest import ProtocolLatest
+from repro.service.net._latest import ProtocolV1
+from repro.service.net._v2 import FLAG_CACHED, ProtocolV2
 from repro.service.net.framing import (
     FRAME_ACCEPT,
     FRAME_HELLO,
     FRAME_NEGOTIATE,
+    FRAME_RESUME,
+    FRAME_RESUMED,
     FRAME_SUBMIT,
     FRAME_SUMMARY,
     FrameDecoder,
@@ -30,7 +33,7 @@ from repro.service.net.framing import (
 
 DOC = pathlib.Path(__file__).resolve().parent.parent / "docs" / "PROTOCOL.md"
 
-#: the exact objects the spec's section 9 prose declares.
+#: the exact objects the spec's section 9/10 prose declares.
 EXAMPLE_REQUEST = RunRequest(
     kind="routing", family="balanced", n=16, seed=7, engine="fast"
 )
@@ -51,21 +54,24 @@ EXAMPLE_SUMMARY = RunSummary(
     latency_s=0.375,
 )
 
+#: the v2 example's lineage and idempotency key (section 10 prose).
+EXAMPLE_LINEAGE = "lin-demo"
+EXAMPLE_KEY = "k-demo-001"
 
-def _documented_frames():
-    """The hex blocks of the worked example, as raw frame bytes."""
+
+def _documented_frames(begin="example-begin", end="example-end", count=5):
+    """The hex blocks of a worked example, as raw frame bytes."""
     text = DOC.read_text()
     match = re.search(
-        r"<!-- example-begin -->(.*?)<!-- example-end -->", text, re.S
+        rf"<!-- {begin} -->(.*?)<!-- {end} -->", text, re.S
     )
-    assert match, "PROTOCOL.md lost its example markers"
+    assert match, f"PROTOCOL.md lost its {begin} markers"
     blocks = re.findall(r"```text\n(.*?)```", match.group(1), re.S)
-    assert len(blocks) == 5, f"expected 5 frames, found {len(blocks)}"
+    assert len(blocks) == count, f"expected {count} frames, found {len(blocks)}"
     return [bytes.fromhex("".join(block.split())) for block in blocks]
 
 
-def test_documented_hex_decodes_to_the_described_exchange():
-    wire = _documented_frames()
+def _decode_stream(wire):
     decoder = FrameDecoder()
     decoder.feed(b"".join(wire))
     frames = []
@@ -75,6 +81,11 @@ def test_documented_hex_decodes_to_the_described_exchange():
             break
         frames.append(frame)
     decoder.eof()
+    return frames
+
+
+def test_documented_hex_decodes_to_the_described_exchange():
+    frames = _decode_stream(_documented_frames())
     assert [f.type for f in frames] == [
         FRAME_HELLO,
         FRAME_NEGOTIATE,
@@ -90,7 +101,7 @@ def test_documented_hex_decodes_to_the_described_exchange():
         "max_frame": 8388608,
         "quota": 64,
         "server": "repro.service.net",
-        "versions": [0, 1],
+        "versions": [0, 1, 2],
     }
     assert parse_control(negotiate.payload) == {"version": 1}
     assert parse_control(accept.payload) == {
@@ -99,12 +110,12 @@ def test_documented_hex_decodes_to_the_described_exchange():
         "version": 1,
     }
 
-    channel, requests = ProtocolLatest.decode_submit(submit)
+    channel, requests = ProtocolV1.decode_submit(submit)
     assert channel == 1
     assert requests == [EXAMPLE_REQUEST]
 
-    assert ProtocolLatest.summary_channel(summary) == 1
-    decoded = ProtocolLatest.decode_summary(summary, requests)
+    assert ProtocolV1.summary_channel(summary) == 1
+    decoded = ProtocolV1.decode_summary(summary, requests)
     assert decoded == [EXAMPLE_SUMMARY]
 
 
@@ -123,7 +134,7 @@ def test_described_exchange_reencodes_to_the_documented_hex():
                     "max_frame": 8388608,
                     "quota": 64,
                     "server": "repro.service.net",
-                    "versions": [0, 1],
+                    "versions": [0, 1, 2],
                 }
             ),
         )
@@ -137,11 +148,74 @@ def test_described_exchange_reencodes_to_the_documented_hex():
             control_payload({"quota": 64, "session": 1, "version": 1}),
         )
     )
-    submit = encode_frame(ProtocolLatest.encode_submit(1, [EXAMPLE_REQUEST]))
+    submit = encode_frame(ProtocolV1.encode_submit(1, [EXAMPLE_REQUEST]))
     summary = encode_frame(
-        ProtocolLatest.encode_summary(1, [EXAMPLE_SUMMARY])
+        ProtocolV1.encode_summary(1, [EXAMPLE_SUMMARY])
     )
     assert [hello, negotiate, accept, submit, summary] == wire
+
+
+def test_documented_v2_hex_decodes_to_the_described_exchange():
+    """Section 10: RESUME/RESUMED, a keyed SUBMIT, a cached SUMMARY."""
+    frames = _decode_stream(
+        _documented_frames("example-v2-begin", "example-v2-end", count=4)
+    )
+    assert [f.type for f in frames] == [
+        FRAME_RESUME,
+        FRAME_RESUMED,
+        FRAME_SUBMIT,
+        FRAME_SUMMARY,
+    ]
+    resume, resumed, submit, summary = frames
+
+    assert parse_control(resume.payload) == {"lineage": EXAMPLE_LINEAGE}
+    assert parse_control(resumed.payload) == {
+        "cached": [EXAMPLE_KEY],
+        "lineage": EXAMPLE_LINEAGE,
+        "resumed": True,
+        "session": 2,
+    }
+
+    channel, key, requests = ProtocolV2.decode_submit_ex(submit)
+    assert channel == 1
+    assert key == EXAMPLE_KEY
+    assert requests == [EXAMPLE_REQUEST]
+
+    assert ProtocolV2.summary_channel(summary) == 1
+    assert summary.flags == FLAG_CACHED
+    assert ProtocolV2.summary_cached(summary)
+    decoded = ProtocolV2.decode_summary(summary, requests)
+    assert decoded == [EXAMPLE_SUMMARY]
+
+
+def test_described_v2_exchange_reencodes_to_the_documented_hex():
+    wire = _documented_frames(
+        "example-v2-begin", "example-v2-end", count=4
+    )
+    resume = encode_frame(
+        Frame(FRAME_RESUME, control_payload({"lineage": EXAMPLE_LINEAGE}))
+    )
+    resumed = encode_frame(
+        Frame(
+            FRAME_RESUMED,
+            control_payload(
+                {
+                    "cached": [EXAMPLE_KEY],
+                    "lineage": EXAMPLE_LINEAGE,
+                    "resumed": True,
+                    "session": 2,
+                }
+            ),
+        )
+    )
+    submit = encode_frame(
+        ProtocolV2.encode_submit(1, [EXAMPLE_REQUEST], EXAMPLE_KEY)
+    )
+    # a cached answer re-frames the original envelope bytes: encoding
+    # the summary and wrapping it cached=True must match the doc.
+    envelope = ProtocolV2.summary_envelope([EXAMPLE_SUMMARY])
+    summary = encode_frame(ProtocolV2.wrap_summary(1, envelope, cached=True))
+    assert [resume, resumed, submit, summary] == wire
 
 
 def test_spec_constants_match_the_implementation():
